@@ -1,0 +1,80 @@
+// τ sweep: the paper sets τ so the quotient stays ≤ 100k nodes and notes the
+// round complexity is nonincreasing in the number of clusters. This bench
+// sweeps τ on a road network and an R-MAT graph, reporting cluster count,
+// radius, rounds, work and approximation ratio.
+
+#include <cstdio>
+#include <iostream>
+
+#include "comparison_common.hpp"
+#include "core/diameter.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road.hpp"
+#include "gen/weights.hpp"
+#include "graph/components.hpp"
+#include "sssp/sweep.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace gdiam;
+
+namespace {
+
+void sweep_tau(const std::string& label, const Graph& g) {
+  const Weight lb = sssp::diameter_lower_bound(g, 4, 17).lower_bound;
+  std::printf("\n%s: n=%u m=%llu diameter LB=%.4g\n", label.c_str(),
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()),
+              lb);
+  util::Table table({"tau", "clusters", "radius", "ratio", "rounds", "work",
+                     "time"});
+  for (const std::uint32_t tau : {1u, 4u, 16u, 64u, 256u}) {
+    std::cerr << "  [running] " << label << " tau=" << tau << "\n";
+    core::DiameterApproxOptions o;
+    o.cluster.tau = tau;
+    o.cluster.seed = 3;
+    o.quotient.exact_threshold = 1024;
+    util::Timer t;
+    const auto r = core::approximate_diameter(g, o);
+    table.row()
+        .cell(std::to_string(tau))
+        .count(r.num_clusters)
+        .sci(r.radius, 2)
+        .num(r.estimate / lb, 3)
+        .count(r.stats.rounds())
+        .sci(static_cast<double>(r.stats.work()), 2)
+        .cell(util::format_duration(t.seconds()));
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Options opts(argc, argv);
+  const util::Scale scale = opts.has("scale")
+                                ? util::parse_scale(opts.get_string("scale", "ci"))
+                                : util::scale_from_env();
+  bench::print_preamble("ablation_tau: granularity sweep",
+                        "Section 4/5 (tau controls clusters vs rounds)",
+                        scale);
+
+  {
+    const NodeId side = util::pick<NodeId>(scale, 180, 400, 2000);
+    util::Xoshiro256 rng(601);
+    sweep_tau("road network", gen::road_network(side, side, rng));
+  }
+  {
+    const unsigned s = util::pick<unsigned>(scale, 14, 17, 22);
+    util::Xoshiro256 rng(607);
+    sweep_tau("R-MAT(" + std::to_string(s) + ")",
+              gen::uniform_weights(
+                  largest_component(gen::rmat(s, 16, rng)).graph, 613));
+  }
+
+  std::printf(
+      "\nexpected shape: more clusters (larger tau) -> smaller radius and\n"
+      "fewer growing rounds per stage, at the cost of a larger quotient;\n"
+      "the ratio stays in a narrow band across the sweep.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 1 — approximation ratio of CL-DIAM and Δ-stepping per benchmark
+// graph (the paper's bar chart; printed here as a series plus an ASCII bar
+// rendering).
+
+#include <cstdio>
+#include <iostream>
+
+#include "comparison_common.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace gdiam;
+
+namespace {
+
+void ascii_bar(const char* label, double value, double vmax) {
+  const int width = static_cast<int>(48.0 * value / vmax);
+  std::printf("  %-14s %5.2f |", label, value);
+  for (int i = 0; i < width; ++i) std::printf("#");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Options opts(argc, argv);
+  const util::Scale scale = opts.has("scale")
+                                ? util::parse_scale(opts.get_string("scale", "ci"))
+                                : util::scale_from_env();
+  bench::print_preamble("fig1_approximation: approximation-ratio series",
+                        "Figure 1", scale);
+
+  const auto rows = bench::run_table2(scale, {});
+
+  util::Table table({"graph", "CL-DIAM", "Delta-stepping"});
+  double vmax = 0.0;
+  for (const auto& r : rows) {
+    table.row().cell(r.name).num(r.cl_ratio, 3).num(r.ds_ratio, 3);
+    vmax = std::max({vmax, r.cl_ratio, r.ds_ratio});
+  }
+  table.print(std::cout);
+
+  std::printf("\nCL-DIAM bars:\n");
+  for (const auto& r : rows) ascii_bar(r.name.c_str(), r.cl_ratio, vmax);
+  std::printf("Delta-stepping bars:\n");
+  for (const auto& r : rows) ascii_bar(r.name.c_str(), r.ds_ratio, vmax);
+
+  std::printf(
+      "\nexpected shape (paper, Fig. 1): both ratios between 1.0 and ~1.4,\n"
+      "neither algorithm dominating on every graph.\n");
+  return 0;
+}

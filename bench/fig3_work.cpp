@@ -1,0 +1,46 @@
+// Figure 3 — aggregate work (node updates + messages) of CL-DIAM and
+// Δ-stepping per benchmark graph (log scale in the paper).
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "comparison_common.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace gdiam;
+
+int main(int argc, char** argv) {
+  const util::Options opts(argc, argv);
+  const util::Scale scale = opts.has("scale")
+                                ? util::parse_scale(opts.get_string("scale", "ci"))
+                                : util::scale_from_env();
+  bench::print_preamble("fig3_work: aggregate work (updates + messages)",
+                        "Figure 3", scale);
+
+  const auto rows = bench::run_table2(scale, {});
+
+  util::Table table({"graph", "work CL", "work DS", "DS/CL", "msgs CL",
+                     "msgs DS", "updates CL", "updates DS"});
+  for (const auto& r : rows) {
+    table.row()
+        .cell(r.name)
+        .sci(static_cast<double>(r.cl_stats.work()), 2)
+        .sci(static_cast<double>(r.ds_stats.work()), 2)
+        .num(static_cast<double>(r.ds_stats.work()) /
+                 static_cast<double>(r.cl_stats.work()),
+             1)
+        .sci(static_cast<double>(r.cl_stats.messages), 2)
+        .sci(static_cast<double>(r.ds_stats.messages), 2)
+        .sci(static_cast<double>(r.cl_stats.node_updates), 2)
+        .sci(static_cast<double>(r.ds_stats.node_updates), 2);
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nexpected shape (paper, Fig. 3): CL-DIAM performs less work on every\n"
+      "graph -- it explores paths only to bounded depth, while Delta-stepping\n"
+      "must settle the exact distance of every node. Largest gap on roads.\n");
+  return 0;
+}

@@ -1,0 +1,152 @@
+// google-benchmark micro kernels: throughput of the primitives the paper's
+// round/work counts are made of — Δ-growing steps (push vs pull), Δ-stepping
+// phases, Dijkstra, generators, components. These are the constants behind
+// the Table 2 wall-clock column.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cluster.hpp"
+#include "core/growing.hpp"
+#include "gen/mesh.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road.hpp"
+#include "gen/weights.hpp"
+#include "graph/components.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/dijkstra.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace gdiam;
+
+const Graph& mesh_graph() {
+  static const Graph g = gen::uniform_weights(gen::mesh(256), 3);
+  return g;
+}
+
+const Graph& rmat_graph() {
+  static const Graph g = [] {
+    util::Xoshiro256 rng(5);
+    return gen::uniform_weights(
+        largest_component(gen::rmat(14, 16, rng)).graph, 7);
+  }();
+  return g;
+}
+
+const Graph& road_graph() {
+  static const Graph g = [] {
+    util::Xoshiro256 rng(9);
+    return gen::road_network(160, 160, rng);
+  }();
+  return g;
+}
+
+void BM_GrowingStepPush(benchmark::State& state) {
+  const Graph& g = mesh_graph();
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::GrowingEngine e(g, core::GrowingPolicy::kPush);
+    util::Xoshiro256 rng(11);
+    for (int c = 0; c < 64; ++c) {
+      const auto u = static_cast<NodeId>(rng.next_bounded(g.num_nodes()));
+      e.set_source(u, u);
+    }
+    core::GrowingStepParams p;
+    p.light_threshold = p.uniform_budget = 8.0 * g.avg_weight();
+    e.rebuild_frontier(p);
+    state.ResumeTiming();
+    while (e.step(p).updates > 0) {
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_directed_edges()));
+}
+BENCHMARK(BM_GrowingStepPush)->Unit(benchmark::kMillisecond);
+
+void BM_GrowingStepPull(benchmark::State& state) {
+  const Graph& g = mesh_graph();
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::GrowingEngine e(g, core::GrowingPolicy::kPull);
+    util::Xoshiro256 rng(11);
+    for (int c = 0; c < 64; ++c) {
+      const auto u = static_cast<NodeId>(rng.next_bounded(g.num_nodes()));
+      e.set_source(u, u);
+    }
+    core::GrowingStepParams p;
+    p.light_threshold = p.uniform_budget = 8.0 * g.avg_weight();
+    e.rebuild_frontier(p);
+    state.ResumeTiming();
+    while (e.step(p).updates > 0) {
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_directed_edges()));
+}
+BENCHMARK(BM_GrowingStepPull)->Unit(benchmark::kMillisecond);
+
+void BM_DeltaSteppingMesh(benchmark::State& state) {
+  const Graph& g = mesh_graph();
+  sssp::DeltaSteppingOptions o;
+  o.delta = static_cast<double>(state.range(0)) * g.avg_weight();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::delta_stepping(g, 0, o));
+  }
+}
+BENCHMARK(BM_DeltaSteppingMesh)->Arg(1)->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DeltaSteppingRmat(benchmark::State& state) {
+  const Graph& g = rmat_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::delta_stepping(g, 0, {}));
+  }
+}
+BENCHMARK(BM_DeltaSteppingRmat)->Unit(benchmark::kMillisecond);
+
+void BM_DijkstraMesh(benchmark::State& state) {
+  const Graph& g = mesh_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::dijkstra_distances(g, 0));
+  }
+}
+BENCHMARK(BM_DijkstraMesh)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterRoad(benchmark::State& state) {
+  const Graph& g = road_graph();
+  core::ClusterOptions o;
+  o.tau = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cluster(g, o));
+  }
+}
+BENCHMARK(BM_ClusterRoad)->Arg(4)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  const Graph& g = rmat_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(connected_components(g));
+  }
+}
+BENCHMARK(BM_ConnectedComponents)->Unit(benchmark::kMillisecond);
+
+void BM_RmatGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    util::Xoshiro256 rng(13);
+    benchmark::DoNotOptimize(gen::rmat(12, 8, rng));
+  }
+}
+BENCHMARK(BM_RmatGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_RoadGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    util::Xoshiro256 rng(17);
+    benchmark::DoNotOptimize(gen::road_network(100, 100, rng));
+  }
+}
+BENCHMARK(BM_RoadGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

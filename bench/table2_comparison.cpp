@@ -1,0 +1,53 @@
+// Table 2 — CL-DIAM vs Δ-stepping on the six benchmark graphs:
+// approximation ratio, running time, MR rounds and work (node updates +
+// messages). This is the paper's headline comparison; Figures 1-3 plot the
+// same three indicator groups.
+
+#include <cstdio>
+#include <iostream>
+
+#include "comparison_common.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace gdiam;
+
+int main(int argc, char** argv) {
+  const util::Options opts(argc, argv);
+  const util::Scale scale = opts.has("scale")
+                                ? util::parse_scale(opts.get_string("scale", "ci"))
+                                : util::scale_from_env();
+  bench::print_preamble("table2_comparison: CL-DIAM vs Delta-stepping",
+                        "Table 2 + Figures 1-3 data", scale);
+
+  bench::ComparisonConfig cfg;
+  cfg.seed = opts.get_int("seed", 1);
+  const auto rows = bench::run_table2(scale, cfg);
+
+  util::Table table({"graph", "n", "m", "approx CL", "approx DS", "time CL",
+                     "time DS", "rounds CL", "rounds DS", "work CL",
+                     "work DS"});
+  for (const auto& r : rows) {
+    table.row()
+        .cell(r.name)
+        .count(r.nodes)
+        .count(r.edges)
+        .num(r.cl_ratio, 2)
+        .num(r.ds_ratio, 2)
+        .cell(util::format_duration(r.cl_seconds))
+        .cell(util::format_duration(r.ds_seconds))
+        .count(r.cl_stats.rounds())
+        .count(r.ds_stats.rounds())
+        .sci(static_cast<double>(r.cl_stats.work()), 2)
+        .sci(static_cast<double>(r.ds_stats.work()), 2);
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nexpected shape (paper, Table 2): CL-DIAM ratio < 1.4 everywhere;\n"
+      "CL-DIAM rounds/work 1-3 orders of magnitude below Delta-stepping on\n"
+      "road/mesh graphs, smaller but consistent gap on social-like graphs.\n"
+      "CL = CL-DIAM (this paper), DS = Delta-stepping 2-approximation.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Road-network scenario: the paper's motivating workload for CL-DIAM.
+//
+// Generates (or loads) a road network — near-planar, bounded degree, huge
+// weighted diameter — and pits CL-DIAM against the Δ-stepping 2-approximation
+// on all four of the paper's indicators. On this topology Δ-stepping needs
+// Θ(hop-diameter) rounds while CL-DIAM needs orders of magnitude fewer.
+//
+// Usage:
+//   road_network [--side 200] [--dimacs path.gr] [--tau T] [--seed S]
+// With --dimacs the real DIMACS data (e.g. roads-CAL from the 9th DIMACS
+// challenge) is analyzed instead of the synthetic network.
+
+#include <cstdio>
+#include <string>
+
+#include "gdiam.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gdiam;
+  const util::Options opts(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+
+  // --- obtain the road network -------------------------------------------
+  Graph g;
+  const std::string dimacs = opts.get_string("dimacs", "");
+  if (!dimacs.empty()) {
+    std::printf("loading DIMACS graph from %s...\n", dimacs.c_str());
+    g = largest_component(io::read_dimacs_file(dimacs)).graph;
+  } else {
+    const auto side = static_cast<NodeId>(opts.get_int("side", 200));
+    util::Xoshiro256 rng(seed);
+    g = gen::road_network(side, side, rng);
+    std::printf("synthetic road network (%ux%u grid)\n", side, side);
+  }
+  const DegreeStats deg = degree_stats(g);
+  std::printf("n=%u m=%llu, degree avg %.2f max %llu, weights [%g, %g]\n\n",
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()),
+              deg.avg, static_cast<unsigned long long>(deg.max),
+              g.min_weight(), g.max_weight());
+
+  // --- ground truth -------------------------------------------------------
+  const auto sweep = sssp::diameter_lower_bound(g, 6, seed);
+  std::printf("diameter lower bound (6 sweeps): %.0f\n\n", sweep.lower_bound);
+
+  // --- CL-DIAM -------------------------------------------------------------
+  core::DiameterApproxOptions o;
+  o.cluster.tau = static_cast<std::uint32_t>(
+      opts.get_int("tau", core::tau_for_cluster_target(g.num_nodes(),
+                                                       g.num_nodes() / 4)));
+  o.cluster.seed = seed;
+  util::Timer t;
+  const auto cl = core::approximate_diameter(g, o);
+  const double cl_time = t.seconds();
+
+  // --- Δ-stepping 2-approximation ------------------------------------------
+  t.reset();
+  const auto ds = sssp::diameter_two_approx(g, 0, {});
+  const double ds_time = t.seconds();
+
+  std::printf("%-22s %12s %12s\n", "", "CL-DIAM", "Delta-step");
+  std::printf("%-22s %12.3f %12.3f\n", "estimate / lower bound",
+              cl.estimate / sweep.lower_bound,
+              ds.upper_bound / sweep.lower_bound);
+  std::printf("%-22s %12s %12s\n", "time",
+              util::format_duration(cl_time).c_str(),
+              util::format_duration(ds_time).c_str());
+  std::printf("%-22s %12llu %12llu\n", "MR rounds",
+              static_cast<unsigned long long>(cl.stats.rounds()),
+              static_cast<unsigned long long>(ds.stats.rounds()));
+  std::printf("%-22s %12.2e %12.2e\n", "work (updates+msgs)",
+              static_cast<double>(cl.stats.work()),
+              static_cast<double>(ds.stats.work()));
+  std::printf("\nCL-DIAM used %u clusters of radius <= %.0f (tau=%u).\n",
+              cl.num_clusters, cl.radius, o.cluster.tau);
+  std::printf("On road topologies expect a 10-100x round gap: this is the\n"
+              "regime Corollary 1 formalizes.\n");
+  return 0;
+}

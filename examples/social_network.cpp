@@ -1,0 +1,76 @@
+// Social-network scenario: power-law graphs with tiny weighted diameters.
+//
+// Mirrors the paper's livejournal/twitter experiments: generate an R-MAT
+// graph (or load a SNAP edge list), extract the giant component, assign
+// U(0,1] weights, and estimate the diameter. Shows the full preprocessing
+// pipeline a practitioner needs: symmetrization, component extraction,
+// weighting, decomposition diagnostics.
+//
+// Usage:
+//   social_network [--scale 15] [--edge-factor 12] [--snap path.txt]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gdiam.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gdiam;
+  const util::Options opts(argc, argv);
+
+  // --- obtain the social graph --------------------------------------------
+  Graph raw;
+  const std::string snap = opts.get_string("snap", "");
+  if (!snap.empty()) {
+    std::printf("loading SNAP edge list from %s (symmetrizing)...\n",
+                snap.c_str());
+    raw = io::read_edge_list_file(snap);
+  } else {
+    const auto scale = static_cast<unsigned>(opts.get_int("scale", 15));
+    const auto ef = static_cast<EdgeIndex>(opts.get_int("edge-factor", 12));
+    util::Xoshiro256 rng(9);
+    raw = gen::rmat(scale, ef, rng);
+    std::printf("R-MAT(%u) with edge factor %llu\n", scale,
+                static_cast<unsigned long long>(ef));
+  }
+
+  // --- giant component + weights (the paper's preprocessing) ---------------
+  const Components cc = connected_components(raw);
+  std::printf("components: %u (giant covers %.1f%% of %u nodes)\n", cc.count,
+              100.0 * cc.sizes[0] / raw.num_nodes(), raw.num_nodes());
+  const Graph g =
+      gen::uniform_weights(largest_component(raw).graph, /*seed=*/11);
+
+  // Degree profile (power-law fingerprint).
+  std::vector<EdgeIndex> degrees(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) degrees[u] = g.degree(u);
+  std::sort(degrees.rbegin(), degrees.rend());
+  std::printf("giant component: n=%u m=%llu; top degrees:", g.num_nodes(),
+              static_cast<unsigned long long>(g.num_edges()));
+  for (int i = 0; i < 5 && i < static_cast<int>(degrees.size()); ++i) {
+    std::printf(" %llu", static_cast<unsigned long long>(degrees[i]));
+  }
+  std::printf(" (median %llu)\n\n",
+              static_cast<unsigned long long>(degrees[degrees.size() / 2]));
+
+  // --- diameter estimation --------------------------------------------------
+  const Weight lb = sssp::diameter_lower_bound(g, 6, 3).lower_bound;
+  core::DiameterApproxOptions o;
+  o.cluster.tau =
+      core::tau_for_cluster_target(g.num_nodes(), g.num_nodes() / 3);
+  o.cluster.seed = 3;
+  util::Timer t;
+  const auto r = core::approximate_diameter(g, o);
+
+  std::printf("weighted diameter: in [%.4f, %.4f]  (ratio <= %.3f, %s)\n",
+              lb, r.estimate, r.estimate / lb,
+              util::format_duration(t.seconds()).c_str());
+  std::printf("decomposition: %u clusters, radius %.4f, %s\n",
+              r.num_clusters, r.radius, mr::to_string(r.stats).c_str());
+  std::printf("\nnote: on small-diameter graphs the estimate is dominated by\n"
+              "the cluster radii; finer decompositions (larger tau) tighten\n"
+              "it at the cost of a larger quotient graph.\n");
+  return 0;
+}

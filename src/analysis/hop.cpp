@@ -1,0 +1,87 @@
+#include "analysis/hop.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace gdiam::analysis {
+
+std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source) {
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> hops(n, kUnreachableHops);
+  if (source >= n) return hops;
+  hops[source] = 0;
+
+  std::vector<NodeId> frontier{source};
+  util::ThreadBuffers<NodeId> next;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+#pragma omp parallel for schedule(dynamic, 256)
+    for (std::size_t f = 0; f < frontier.size(); ++f) {
+      for (const NodeId v : g.neighbors(frontier[f])) {
+        std::atomic_ref<std::uint32_t> slot(hops[v]);
+        std::uint32_t expected = kUnreachableHops;
+        // First writer wins; all writers carry the same level value.
+        if (slot.load(std::memory_order_relaxed) == kUnreachableHops &&
+            slot.compare_exchange_strong(expected, level,
+                                         std::memory_order_relaxed)) {
+          next.local().push_back(v);
+        }
+      }
+    }
+    frontier = next.gather();
+  }
+  return hops;
+}
+
+std::uint32_t hop_eccentricity(const Graph& g, NodeId source) {
+  const auto hops = bfs_hops(g, source);
+  std::uint32_t ecc = 0;
+  for (const std::uint32_t h : hops) {
+    if (h != kUnreachableHops) ecc = std::max(ecc, h);
+  }
+  return ecc;
+}
+
+std::uint32_t hop_diameter_lower_bound(const Graph& g, unsigned max_sweeps,
+                                       std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  if (n == 0 || max_sweeps == 0) return 0;
+  util::Xoshiro256 rng(seed);
+  NodeId source = static_cast<NodeId>(rng.next_bounded(n));
+  std::uint32_t best = 0;
+  std::vector<NodeId> visited;
+  for (unsigned s = 0; s < max_sweeps; ++s) {
+    if (std::find(visited.begin(), visited.end(), source) != visited.end()) {
+      break;
+    }
+    visited.push_back(source);
+    const auto hops = bfs_hops(g, source);
+    std::uint32_t ecc = 0;
+    NodeId far = source;
+    for (NodeId u = 0; u < n; ++u) {
+      if (hops[u] != kUnreachableHops && hops[u] > ecc) {
+        ecc = hops[u];
+        far = u;
+      }
+    }
+    best = std::max(best, ecc);
+    source = far;
+  }
+  return best;
+}
+
+std::uint32_t exact_hop_diameter(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::uint32_t diameter = 0;
+  // BFS itself is parallel; sources sequential to avoid nested regions.
+  for (NodeId u = 0; u < n; ++u) {
+    diameter = std::max(diameter, hop_eccentricity(g, u));
+  }
+  return diameter;
+}
+
+}  // namespace gdiam::analysis

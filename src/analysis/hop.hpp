@@ -1,0 +1,34 @@
+#pragma once
+// Hop (unweighted) metrics: parallel BFS, hop eccentricity and the hop
+// diameter Ψ(G) — the quantity Corollary 1 compares round complexities
+// against (Δ-stepping needs Ω(Ψ(G)) rounds under linear space; CLUSTER needs
+// O(⌈Ψ/n^(ε'/b)⌉ log³ n)).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gdiam::analysis {
+
+/// Hop distance (number of edges) from `source` to every node;
+/// kInvalidNode-valued entries become unreachable = UINT32_MAX.
+inline constexpr std::uint32_t kUnreachableHops = 0xffffffffu;
+
+/// Frontier-parallel BFS.
+[[nodiscard]] std::vector<std::uint32_t> bfs_hops(const Graph& g,
+                                                  NodeId source);
+
+/// Max finite hop distance from `source`.
+[[nodiscard]] std::uint32_t hop_eccentricity(const Graph& g, NodeId source);
+
+/// Lower bound on the hop diameter Ψ(G) by iterated BFS sweeps
+/// (the unweighted analogue of sssp::diameter_lower_bound).
+[[nodiscard]] std::uint32_t hop_diameter_lower_bound(const Graph& g,
+                                                     unsigned max_sweeps,
+                                                     std::uint64_t seed = 1);
+
+/// Exact hop diameter via BFS from every node; for small graphs and tests.
+[[nodiscard]] std::uint32_t exact_hop_diameter(const Graph& g);
+
+}  // namespace gdiam::analysis

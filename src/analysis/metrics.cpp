@@ -1,0 +1,180 @@
+#include "analysis/metrics.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "analysis/hop.hpp"
+#include "sssp/dijkstra.hpp"
+#include "util/rng.hpp"
+
+namespace gdiam::analysis {
+
+namespace {
+
+/// Dijkstra that also tracks the hop count of a min-weight, then min-hop,
+/// path to every node.
+void dijkstra_with_hops(const Graph& g, NodeId source,
+                        std::vector<Weight>& dist,
+                        std::vector<std::uint32_t>& hops) {
+  const NodeId n = g.num_nodes();
+  dist.assign(n, kInfiniteWeight);
+  hops.assign(n, kUnreachableHops);
+  using Item = std::pair<Weight, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  hops[source] = 0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    const auto nbr = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      const NodeId v = nbr[i];
+      const Weight nd = d + wts[i];
+      if (nd < dist[v] || (nd == dist[v] && hops[u] + 1 < hops[v])) {
+        dist[v] = nd;
+        hops[v] = hops[u] + 1;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint32_t estimate_ell(const Graph& g, Weight delta, unsigned samples,
+                           std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  if (n == 0 || samples == 0) return 0;
+  util::Xoshiro256 rng(seed);
+  std::uint32_t ell = 0;
+  std::vector<Weight> dist;
+  std::vector<std::uint32_t> hops;
+  const unsigned count = std::min<unsigned>(samples, n);
+  for (unsigned s = 0; s < count; ++s) {
+    const NodeId source = samples >= n
+                              ? static_cast<NodeId>(s)
+                              : static_cast<NodeId>(rng.next_bounded(n));
+    dijkstra_with_hops(g, source, dist, hops);
+    for (NodeId u = 0; u < n; ++u) {
+      if (dist[u] <= delta && hops[u] != kUnreachableHops) {
+        ell = std::max(ell, hops[u]);
+      }
+    }
+  }
+  return ell;
+}
+
+DoublingEstimate estimate_doubling_dimension(const Graph& g,
+                                             unsigned center_samples,
+                                             std::uint32_t max_radius,
+                                             std::uint64_t seed) {
+  DoublingEstimate out;
+  const NodeId n = g.num_nodes();
+  if (n == 0 || center_samples == 0 || max_radius == 0) return out;
+  util::Xoshiro256 rng(seed);
+
+  // Probe the maximum-degree node first — dimension concentrates where the
+  // neighborhood growth is fastest (e.g. the hub of a star) and uniform
+  // sampling is unlikely to hit it — then random centers.
+  NodeId hub = 0;
+  for (NodeId u = 1; u < n; ++u) {
+    if (g.degree(u) > g.degree(hub)) hub = u;
+  }
+  for (unsigned s = 0; s < center_samples; ++s) {
+    const NodeId center =
+        s == 0 ? hub : static_cast<NodeId>(rng.next_bounded(n));
+    const auto hops = bfs_hops(g, center);
+    for (std::uint32_t radius = 1; radius <= max_radius; radius *= 2) {
+      // Nodes of the radius-ball around `center`, to be covered with balls
+      // of radius ⌊radius/2⌋ (0 = singletons — the R = 1/2 case that
+      // separates stars from meshes under integral hop distances).
+      const std::uint32_t half = radius / 2;
+      std::vector<NodeId> ball;
+      for (NodeId u = 0; u < n; ++u) {
+        if (hops[u] != kUnreachableHops && hops[u] <= radius) {
+          ball.push_back(u);
+        }
+      }
+      if (ball.size() <= 1) continue;
+      out.balls_probed++;
+      // Greedy cover: repeatedly pick an uncovered node and remove
+      // everything within hop distance `half` of it.
+      std::uint32_t cover_size = 0;
+      if (half == 0) {
+        cover_size = static_cast<std::uint32_t>(ball.size());
+      } else {
+        std::vector<std::uint8_t> covered(n, 0);
+        for (const NodeId u : ball) {
+          if (covered[u]) continue;
+          ++cover_size;
+          const auto local = bfs_hops(g, u);
+          for (const NodeId v : ball) {
+            if (local[v] != kUnreachableHops && local[v] <= half) {
+              covered[v] = 1;
+            }
+          }
+        }
+      }
+      std::uint32_t dim = 0;
+      while ((1u << dim) < cover_size) ++dim;
+      out.dimension = std::max(out.dimension, dim);
+    }
+  }
+  return out;
+}
+
+KCenterResult greedy_k_center(const Graph& g, NodeId k, std::uint64_t seed) {
+  const NodeId n = g.num_nodes();
+  KCenterResult out;
+  if (n == 0) return out;
+  if (k == 0) throw std::invalid_argument("greedy_k_center: k must be >= 1");
+  k = std::min(k, n);
+
+  util::Xoshiro256 rng(seed);
+  NodeId next_center = static_cast<NodeId>(rng.next_bounded(n));
+  out.distance.assign(n, kInfiniteWeight);
+  out.assignment.assign(n, kInvalidNode);
+
+  for (NodeId round = 0; round < k; ++round) {
+    out.centers.push_back(next_center);
+    const auto d = sssp::dijkstra_distances(g, next_center);
+    for (NodeId u = 0; u < n; ++u) {
+      if (d[u] < out.distance[u]) {
+        out.distance[u] = d[u];
+        out.assignment[u] = next_center;
+      }
+    }
+    // Farthest (finite-distance) node becomes the next center; on
+    // disconnected graphs, an untouched component (distance ∞) wins first.
+    Weight far_dist = -1.0;
+    NodeId far = next_center;
+    for (NodeId u = 0; u < n; ++u) {
+      const Weight d_u =
+          out.distance[u] == kInfiniteWeight ? -2.0 : out.distance[u];
+      if (out.distance[u] == kInfiniteWeight) {
+        far = u;
+        far_dist = kInfiniteWeight;
+        break;
+      }
+      if (d_u > far_dist) {
+        far_dist = d_u;
+        far = u;
+      }
+    }
+    next_center = far;
+  }
+
+  out.radius = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (out.distance[u] != kInfiniteWeight) {
+      out.radius = std::max(out.radius, out.distance[u]);
+    }
+  }
+  return out;
+}
+
+}  // namespace gdiam::analysis

@@ -1,0 +1,60 @@
+#pragma once
+// Structural metrics from the paper's analysis:
+//
+//  * ℓ_Δ — the minimum number such that every node pair at weighted distance
+//    ≤ Δ is joined by a minimum-weight path of at most ℓ_Δ edges (Section 2).
+//    Drives the round complexity O(ℓ_{R_G(τ) log n} · log n) of Theorem 3.
+//  * doubling dimension b — smallest integer such that every ball of hop
+//    radius 2R is covered by 2^b balls of radius R (Definition 2); the
+//    bounded-b case is where Corollary 1 beats Δ-stepping polynomially.
+//  * greedy k-center (Gonzalez) — a sequential baseline for R_G(τ), used to
+//    evaluate how close CLUSTER's radius gets to the optimum (within the
+//    classical factor-2 guarantee of the greedy).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gdiam::analysis {
+
+/// Estimates ℓ_Δ by sampling `samples` sources: runs Dijkstra with hop
+/// tracking and returns the maximum hop count over shortest paths of weight
+/// ≤ Δ (a lower bound on ℓ_Δ that converges quickly in practice; exact when
+/// samples covers all nodes). Ties among equal-weight paths resolve to the
+/// fewest hops, matching the definition's "there is a minimum-weight path".
+[[nodiscard]] std::uint32_t estimate_ell(const Graph& g, Weight delta,
+                                         unsigned samples,
+                                         std::uint64_t seed = 1);
+
+struct DoublingEstimate {
+  /// max over probed balls of ⌈log2(cover size)⌉.
+  std::uint32_t dimension = 0;
+  /// Number of (center, radius) balls probed.
+  std::uint32_t balls_probed = 0;
+};
+
+/// Probes the (hop) doubling dimension: for sampled centers and radii R,
+/// greedily covers the 2R-ball with R-balls and reports the max ⌈log₂ #⌉.
+/// A sampling estimator — exact doubling dimension is NP-hard to compute;
+/// on meshes it reports ≈ 2, on power-law graphs it grows with n.
+[[nodiscard]] DoublingEstimate estimate_doubling_dimension(
+    const Graph& g, unsigned center_samples, std::uint32_t max_radius,
+    std::uint64_t seed = 1);
+
+struct KCenterResult {
+  std::vector<NodeId> centers;
+  /// max distance from any node to its nearest center = the k-center radius.
+  Weight radius = 0.0;
+  /// Nearest center per node.
+  std::vector<NodeId> assignment;
+  std::vector<Weight> distance;
+};
+
+/// Gonzalez's greedy 2-approximation of the weighted k-center problem:
+/// repeatedly add the node farthest from the current centers. R_G(k) lies in
+/// [radius/2, radius]. Sequential; k Dijkstras.
+[[nodiscard]] KCenterResult greedy_k_center(const Graph& g, NodeId k,
+                                            std::uint64_t seed = 1);
+
+}  // namespace gdiam::analysis

@@ -1,0 +1,244 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace gdiam::core {
+
+namespace {
+
+Weight initial_delta(const Graph& g, const ClusterOptions& opts) {
+  switch (opts.delta_init) {
+    case DeltaInit::kMinWeight:
+      return g.min_weight() > 0.0 ? g.min_weight() : 1.0;
+    case DeltaInit::kFixed:
+      if (!(opts.delta_fixed > 0.0)) {
+        throw std::invalid_argument("cluster: delta_fixed must be positive");
+      }
+      return opts.delta_fixed;
+    case DeltaInit::kAverageWeight:
+    default:
+      return g.avg_weight() > 0.0 ? g.avg_weight() : 1.0;
+  }
+}
+
+}  // namespace
+
+bool Clustering::validate(const Graph& g) const {
+  const NodeId n = g.num_nodes();
+  if (center_of.size() != n || dist_to_center.size() != n) return false;
+  for (NodeId u = 0; u < n; ++u) {
+    if (center_of[u] >= n) return false;
+    if (!(dist_to_center[u] >= 0.0) || dist_to_center[u] == kInfiniteWeight) {
+      return false;
+    }
+    if (dist_to_center[u] > radius) return false;
+  }
+  for (const NodeId c : centers) {
+    if (c >= n || center_of[c] != c || dist_to_center[c] != 0.0) return false;
+  }
+  if (!std::is_sorted(centers.begin(), centers.end())) return false;
+  // Every center referenced must be listed.
+  std::vector<std::uint8_t> is_center(n, 0);
+  for (const NodeId c : centers) is_center[c] = 1;
+  for (NodeId u = 0; u < n; ++u) {
+    if (!is_center[center_of[u]]) return false;
+  }
+  return true;
+}
+
+Clustering cluster(const Graph& g, const ClusterOptions& opts) {
+  if (opts.tau == 0) throw std::invalid_argument("cluster: tau must be >= 1");
+  const NodeId n = g.num_nodes();
+
+  Clustering out;
+  out.center_of.assign(n, kInvalidNode);
+  out.dist_to_center.assign(n, kInfiniteWeight);
+
+  if (n == 0) return out;
+
+  GrowingEngine engine(g, opts.policy);
+  std::vector<std::uint8_t> covered(n, 0);
+  // Upper bound on the distance from each center to its cluster's current
+  // boundary; newly covered nodes get dist = offset(center) + stage label.
+  std::vector<Weight> cluster_offset(n, 0.0);
+
+  const double logn = std::max(1.0, std::log2(static_cast<double>(n)));
+  const double stop_threshold =
+      opts.stop_factor * static_cast<double>(opts.tau) * logn;
+  // Any simple path weighs at most (n-1)·max_weight: once Δ exceeds this at
+  // a relaxation fixpoint, the remaining uncovered nodes are unreachable
+  // from every source and further doubling cannot help.
+  const Weight max_useful_delta =
+      std::max(1.0, static_cast<Weight>(n) * std::max(1.0, g.max_weight()));
+
+  Weight delta = initial_delta(g, opts);
+  util::Xoshiro256 rng(opts.seed);
+  NodeId uncovered = n;
+
+  while (static_cast<double>(uncovered) >= stop_threshold && uncovered > 0) {
+    out.stages++;
+    const NodeId uncovered_at_start = uncovered;
+
+    // --- center selection (one MR round: sample + broadcast) -------------
+    out.stats.auxiliary_rounds++;
+    const double p = std::min(
+        1.0, opts.gamma * static_cast<double>(opts.tau) * logn /
+                 static_cast<double>(uncovered));
+    engine.clear_labels();
+    std::vector<NodeId> new_centers;
+    for (NodeId u = 0; u < n; ++u) {
+      if (!covered[u] && rng.next_bernoulli(p)) new_centers.push_back(u);
+    }
+    if (new_centers.empty()) {
+      // The w.h.p. analysis assumes at least one center per stage; force one
+      // so the implementation always makes progress.
+      NodeId pick = kInvalidNode;
+      std::uint64_t skip = rng.next_bounded(uncovered);
+      for (NodeId u = 0; u < n && pick == kInvalidNode; ++u) {
+        if (!covered[u] && skip-- == 0) pick = u;
+      }
+      new_centers.push_back(pick);
+    }
+
+    // --- stage label initialization ---------------------------------------
+    // Contracted clusters re-enter as zero-distance sources (Contract
+    // re-attaches their frontier edges to the center with original weights).
+    for (NodeId u = 0; u < n; ++u) {
+      if (covered[u]) engine.set_source(u, out.center_of[u]);
+    }
+    for (const NodeId c : new_centers) {
+      engine.set_source(c, c);
+    }
+
+    // --- grow with geometrically increasing Δ -----------------------------
+    const auto target = static_cast<std::uint64_t>((uncovered_at_start + 1) / 2);
+    // New centers are uncovered nodes with d = 0 ≤ Δ: they belong to V'.
+    std::uint64_t labeled_uncovered = new_centers.size();
+    while (true) {
+      GrowingStepParams params;
+      params.light_threshold = delta;
+      params.uniform_budget = delta;
+      engine.rebuild_frontier(params);
+
+      // PartialGrowth(G_i, Δ): Δ-growing steps until no state changes or
+      // the coverage target is met (checked per step, as in the pseudocode's
+      // repeat-until).
+      const GrowingEngine::RunResult r = engine.run(
+          params, out.stats, opts.max_steps_per_growth,
+          [&](const GrowingStepResult& total) {
+            return labeled_uncovered + total.newly_labeled >= target;
+          });
+      labeled_uncovered += r.totals.newly_labeled;
+      out.stats.auxiliary_rounds++;  // |V'| count (prefix sum round)
+
+      if (labeled_uncovered >= target) break;
+      // Step cap exhausted mid-growth: accept the partial stage instead of
+      // doubling (the Section 4 bounded-rounds variant — doubling Δ would
+      // not shorten a hop-limited run, only re-pay it).
+      if (r.hit_step_cap) break;
+      // At a fixpoint, doubling unlocks heavier edges and more budget; once
+      // Δ exceeds any possible path weight, the remaining uncovered nodes
+      // are unreachable from the current sources and the stage must settle
+      // for what it has.
+      if (delta >= max_useful_delta) break;
+      delta *= 2.0;
+    }
+
+    // --- assignment + logical contraction (one MR round) ------------------
+    out.stats.auxiliary_rounds++;
+    std::vector<NodeId> newly_covered;
+    for (NodeId u = 0; u < n; ++u) {
+      if (covered[u]) continue;
+      if (!label_assigned(engine.label(u))) continue;
+      newly_covered.push_back(u);
+    }
+    // dist_to_center fix-up: the stage label d_v only measures the path from
+    // the cluster's *boundary* (Contract re-attaches frontier edges at
+    // original weight), so the distance to the center is recovered by
+    // walking the relaxation forest: processing newly covered nodes by
+    // increasing stage label, a node's true parent (the neighbor that set
+    // d_v = d_u + w) is already finalized, giving the exact weight of an
+    // actual center-to-v path — a tight, deterministic upper bound. When
+    // growth stopped early the parent's label may have shifted afterwards;
+    // the per-cluster boundary offset then serves as a safe fallback.
+    std::sort(newly_covered.begin(), newly_covered.end(),
+              [&](NodeId a, NodeId b) {
+                const float da = label_dist(engine.label(a));
+                const float db = label_dist(engine.label(b));
+                if (da != db) return da < db;
+                return a < b;
+              });
+    for (const NodeId v : newly_covered) {
+      const PackedLabel lab = engine.label(v);
+      const NodeId c = label_center(lab);
+      const float bv = label_dist(lab);
+      Weight best = kInfiniteWeight;
+      if (bv == 0.0f) {
+        best = 0.0;  // new center
+      } else {
+        const auto nbr = g.neighbors(v);
+        const auto wts = g.weights(v);
+        for (std::size_t i = 0; i < nbr.size(); ++i) {
+          const NodeId u = nbr[i];
+          // Any already-finalized member of the same cluster (covered in an
+          // earlier stage, or earlier in this sweep) certifies the real path
+          // center -> u -> v of weight dist(u) + w.
+          if (covered[u] && out.center_of[u] == c &&
+              out.dist_to_center[u] != kInfiniteWeight) {
+            best = std::min(best, out.dist_to_center[u] + wts[i]);
+          }
+        }
+        if (best == kInfiniteWeight) {
+          best = cluster_offset[c] + static_cast<Weight>(bv);  // fallback
+        }
+      }
+      covered[v] = 1;
+      engine.block(v);
+      out.center_of[v] = c;
+      out.dist_to_center[v] = best;
+      --uncovered;
+    }
+    // The boundary offset advances to the stage's final extent.
+    for (const NodeId v : newly_covered) {
+      cluster_offset[out.center_of[v]] =
+          std::max(cluster_offset[out.center_of[v]], out.dist_to_center[v]);
+    }
+  }
+
+  // --- leftover nodes become singleton clusters (one MR round) ------------
+  out.stats.auxiliary_rounds++;
+  for (NodeId u = 0; u < n; ++u) {
+    if (out.center_of[u] == kInvalidNode) {
+      out.center_of[u] = u;
+      out.dist_to_center[u] = 0.0;
+    }
+  }
+
+  std::vector<std::uint8_t> is_center(n, 0);
+  for (NodeId u = 0; u < n; ++u) is_center[out.center_of[u]] = 1;
+  for (NodeId u = 0; u < n; ++u) {
+    if (is_center[u]) out.centers.push_back(u);
+  }
+  out.radius = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    out.radius = std::max(out.radius, out.dist_to_center[u]);
+  }
+  out.delta_end = delta;
+  return out;
+}
+
+std::uint32_t tau_for_cluster_target(NodeId n, NodeId target_clusters) {
+  if (n == 0 || target_clusters == 0) return 1;
+  const double logn = std::max(1.0, std::log2(static_cast<double>(n)));
+  // CLUSTER produces Θ(τ log n) centers per stage over ≈log n stages plus
+  // ≤ 8·τ·log n singletons; dividing the target by c·log n with c ≈ 12
+  // keeps the observed cluster counts at or below the target.
+  const double tau = static_cast<double>(target_clusters) / (12.0 * logn);
+  return static_cast<std::uint32_t>(std::max(1.0, tau));
+}
+
+}  // namespace gdiam::core

@@ -1,0 +1,112 @@
+#include "core/cluster2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace gdiam::core {
+
+Cluster2Result cluster2(const Graph& g, const Cluster2Options& opts) {
+  const NodeId n = g.num_nodes();
+  Cluster2Result out;
+
+  // --- bootstrap: learn R_CL(τ) from CLUSTER(G, τ) -------------------------
+  const Clustering bootstrap = cluster(g, opts.base);
+  out.radius_cluster1 = bootstrap.radius;
+  out.bootstrap_stats = bootstrap.stats;
+
+  Clustering& c2 = out.clustering;
+  c2.center_of.assign(n, kInvalidNode);
+  c2.dist_to_center.assign(n, kInfiniteWeight);
+  c2.stats = bootstrap.stats;  // CLUSTER2 pays for its CLUSTER call
+  if (n == 0) return out;
+
+  // Growth quantum 2·R_CL(τ). A zero radius (every node its own cluster in
+  // the bootstrap, e.g. τ ≥ n) degenerates to the smallest edge weight so
+  // light edges still exist.
+  const Weight quantum =
+      2.0 * (bootstrap.radius > 0.0
+                 ? bootstrap.radius
+                 : (g.min_weight() > 0.0 ? g.min_weight() : 1.0));
+
+  GrowingEngine engine(g, opts.base.policy);
+  std::vector<std::uint8_t> covered(n, 0);
+  std::vector<std::uint32_t> birth(n, 0);     // iteration a center was born
+  std::vector<Weight> budget(n, 0.0);         // per-center growth budget
+  util::Xoshiro256 rng(opts.base.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  const auto iterations = static_cast<std::uint32_t>(
+      std::max(1.0, std::ceil(std::log2(static_cast<double>(n)))));
+  NodeId uncovered = n;
+
+  for (std::uint32_t i = 1; i <= iterations && uncovered > 0; ++i) {
+    c2.stages++;
+    // --- center selection with doubling probability 2^i / n ---------------
+    c2.stats.auxiliary_rounds++;
+    const double p =
+        std::min(1.0, std::ldexp(1.0, static_cast<int>(i)) /
+                          static_cast<double>(n));
+    for (NodeId u = 0; u < n; ++u) {
+      if (covered[u] || label_assigned(engine.label(u))) continue;
+      if (rng.next_bernoulli(p)) {
+        engine.set_source(u, u);
+        birth[u] = i;
+      }
+    }
+
+    // --- per-center budgets for this iteration ----------------------------
+    // Cluster born at iteration b may grow to total light-distance
+    // (i − b + 1) · 2R_CL — the Contract2 weight-rescaling equivalence.
+    for (NodeId u = 0; u < n; ++u) {
+      if (engine.label(u) != kUnassignedLabel && label_center(engine.label(u)) == u) {
+        budget[u] = static_cast<Weight>(i - birth[u] + 1) * quantum;
+      }
+    }
+
+    // --- PartialGrowth2: grow until no state is updated --------------------
+    GrowingStepParams params;
+    params.light_threshold = quantum;  // edges heavier than 2R_CL never used
+    params.center_budget = &budget;
+    engine.rebuild_frontier(params);
+    engine.run(params, c2.stats, opts.max_steps_per_growth,
+               [](const GrowingStepResult&) { return false; });
+
+    // --- logical Contract2: everything reached becomes covered -------------
+    c2.stats.auxiliary_rounds++;
+    for (NodeId u = 0; u < n; ++u) {
+      if (covered[u]) continue;
+      const PackedLabel lab = engine.label(u);
+      if (!label_assigned(lab)) continue;
+      covered[u] = 1;
+      engine.block(u);
+      c2.center_of[u] = label_center(lab);
+      c2.dist_to_center[u] = static_cast<Weight>(label_dist(lab));
+      --uncovered;
+    }
+  }
+
+  // The final iteration has selection probability ≥ 1, so everything is
+  // covered; keep a defensive singleton sweep for graphs where floating
+  // point made the last probability land just below 1.
+  for (NodeId u = 0; u < n; ++u) {
+    if (c2.center_of[u] == kInvalidNode) {
+      c2.center_of[u] = u;
+      c2.dist_to_center[u] = 0.0;
+    }
+  }
+
+  std::vector<std::uint8_t> is_center(n, 0);
+  for (NodeId u = 0; u < n; ++u) is_center[c2.center_of[u]] = 1;
+  for (NodeId u = 0; u < n; ++u) {
+    if (is_center[u]) c2.centers.push_back(u);
+  }
+  c2.radius = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    c2.radius = std::max(c2.radius, c2.dist_to_center[u]);
+  }
+  c2.delta_end = quantum;
+  return out;
+}
+
+}  // namespace gdiam::core

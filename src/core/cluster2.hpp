@@ -1,0 +1,44 @@
+#pragma once
+// Algorithm CLUSTER2(G, τ) — Section 4 of the paper.
+//
+// The refined decomposition behind the O(log³ n) approximation proof. It
+// first runs CLUSTER(G, τ) to learn the radius R_CL(τ), then executes
+// ⌈log₂ n⌉ iterations; in iteration i uncovered nodes become new centers
+// independently with probability 2^i / n, and all clusters (old and new)
+// grow along light edges (w ≤ 2·R_CL) until no state changes.
+//
+// Procedure Contract2 rescales re-attached edge weights by
+// d_u + w(u,v) − 2·R_CL; the equivalent formulation used here keeps labels
+// as total light-distances D from the center and gives the cluster born at
+// iteration b a growth budget (i − b + 1)·2·R_CL at iteration i (DESIGN.md
+// §3). This preserves the key property used by Theorem 2: a center at light
+// distance d from v needs ⌈d / 2R_CL⌉ iterations to reach v.
+
+#include "core/cluster.hpp"
+
+namespace gdiam::core {
+
+struct Cluster2Options {
+  /// Options of the bootstrap CLUSTER run (τ, Δ-init, seed, policy...).
+  ClusterOptions base;
+  /// Cap on Δ-growing steps per PartialGrowth2 invocation (the paper's
+  /// O((n/τ) log n) variant); 0 = unlimited.
+  std::uint64_t max_steps_per_growth = 0;
+};
+
+struct Cluster2Result {
+  Clustering clustering;
+  /// Radius R_CL(τ) of the bootstrap CLUSTER run (the growth quantum is
+  /// 2·radius_cluster1).
+  Weight radius_cluster1 = 0.0;
+  /// The bootstrap decomposition's stats are included in
+  /// clustering.stats; kept separately too for the ablation bench.
+  mr::RoundStats bootstrap_stats;
+};
+
+/// Runs CLUSTER2(G, τ). The returned clustering covers every node; its
+/// radius is R_CL2(τ) = O(R_G(τ) log² n) w.h.p. (Lemma 2).
+[[nodiscard]] Cluster2Result cluster2(const Graph& g,
+                                      const Cluster2Options& opts);
+
+}  // namespace gdiam::core

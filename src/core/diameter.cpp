@@ -1,0 +1,35 @@
+#include "core/diameter.hpp"
+
+namespace gdiam::core {
+
+DiameterApproxResult approximate_diameter(const Graph& g,
+                                          const DiameterApproxOptions& opts) {
+  DiameterApproxResult out;
+
+  if (opts.use_cluster2) {
+    Cluster2Options c2;
+    c2.base = opts.cluster;
+    out.clustering = cluster2(g, c2).clustering;
+  } else {
+    out.clustering = cluster(g, opts.cluster);
+  }
+  out.stats = out.clustering.stats;
+  out.radius = out.clustering.radius;
+  out.num_clusters = out.clustering.num_clusters();
+
+  // Quotient construction is one map-and-reduce over the edge set; the final
+  // diameter of the (small) quotient costs O(1) rounds on a single reducer
+  // (paper, Theorem 3).
+  out.stats.auxiliary_rounds += 2;
+  const QuotientGraph q = build_quotient(g, out.clustering);
+  out.quotient_edges = q.graph.num_edges();
+
+  const QuotientDiametersResult qd = quotient_diameters(q, opts.quotient);
+  out.quotient_diam = qd.plain;
+  out.quotient_exact = qd.exact;
+  out.estimate_classic = qd.plain + 2.0 * out.clustering.radius;
+  out.estimate = opts.radius_aware ? qd.augmented : out.estimate_classic;
+  return out;
+}
+
+}  // namespace gdiam::core

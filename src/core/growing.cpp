@@ -1,0 +1,173 @@
+#include "core/growing.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace gdiam::core {
+
+GrowingEngine::GrowingEngine(const Graph& g, GrowingPolicy policy)
+    : g_(g), policy_(policy) {
+  reset();
+}
+
+void GrowingEngine::reset() {
+  const NodeId n = g_.num_nodes();
+  labels_.assign(n, kUnassignedLabel);
+  blocked_.assign(n, 0);
+  frontier_.clear();
+  frontier_labels_.clear();
+  in_next_frontier_.assign(n, 0);
+  scratch_.assign(policy_ == GrowingPolicy::kPull ? n : 0, kUnassignedLabel);
+  changed_.assign(n, 0);
+  next_changed_.assign(policy_ == GrowingPolicy::kPull ? n : 0, 0);
+}
+
+void GrowingEngine::clear_labels() {
+  std::fill(labels_.begin(), labels_.end(), kUnassignedLabel);
+  std::fill(changed_.begin(), changed_.end(), 0);
+  frontier_.clear();
+  frontier_labels_.clear();
+}
+
+void GrowingEngine::set_source(NodeId u, NodeId center, Weight dist) {
+  labels_[u] = pack_label(static_cast<float>(dist), center);
+  changed_[u] = 1;
+}
+
+void GrowingEngine::rebuild_frontier(const GrowingStepParams& params) {
+  frontier_.clear();
+  for (NodeId u = 0; u < g_.num_nodes(); ++u) {
+    const PackedLabel lab = labels_[u];
+    if (!label_assigned(lab)) {
+      changed_[u] = 0;
+      continue;
+    }
+    changed_[u] = 1;  // pull policy: everyone labeled re-proposes once
+    if (label_dist(lab) < budget_of(params, label_center(lab))) {
+      frontier_.push_back(u);
+    }
+  }
+  frontier_labels_.assign(frontier_.size(), kUnassignedLabel);
+  for (std::size_t i = 0; i < frontier_.size(); ++i) {
+    frontier_labels_[i] = labels_[frontier_[i]];
+  }
+}
+
+GrowingStepResult GrowingEngine::step(const GrowingStepParams& params) {
+  return policy_ == GrowingPolicy::kPush ? step_push(params)
+                                         : step_pull(params);
+}
+
+GrowingStepResult GrowingEngine::step_push(const GrowingStepParams& params) {
+  GrowingStepResult out;
+  std::uint64_t messages = 0, updates = 0, newly = 0;
+
+#pragma omp parallel for schedule(dynamic, 64) \
+    reduction(+ : messages, updates, newly)
+  for (std::size_t f = 0; f < frontier_.size(); ++f) {
+    const NodeId u = frontier_[f];
+    // Labels are read from the step-start snapshot so the step is exactly
+    // one synchronous round of message exchange (MR semantics).
+    const PackedLabel lab = frontier_labels_[f];
+    const float b = label_dist(lab);
+    const NodeId c = label_center(lab);
+    const Weight budget = budget_of(params, c);
+    if (!(static_cast<Weight>(b) < budget)) continue;
+
+    const auto nbr = g_.neighbors(u);
+    const auto wts = g_.weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      const Weight w = wts[i];
+      if (w > params.light_threshold) continue;  // heavy edge
+      const Weight nb = static_cast<Weight>(b) + w;
+      if (nb > budget) continue;
+      const NodeId v = nbr[i];
+      if (blocked_[v]) continue;  // contracted-cluster members never accept
+      ++messages;
+
+      const PackedLabel cand = pack_label(static_cast<float>(nb), c);
+      std::atomic_ref<PackedLabel> slot(labels_[v]);
+      PackedLabel cur = slot.load(std::memory_order_relaxed);
+      while (cand < cur) {
+        if (slot.compare_exchange_weak(cur, cand,
+                                       std::memory_order_relaxed)) {
+          // Count each node once per step: the first winner (flag 0 -> 1)
+          // observed the step-start label, making the counts deterministic.
+          std::atomic_ref<std::uint8_t> flag(in_next_frontier_[v]);
+          if (flag.exchange(1, std::memory_order_relaxed) == 0) {
+            ++updates;
+            if (cur == kUnassignedLabel) ++newly;
+            next_buffers_.local().push_back(v);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  out.messages = messages;
+  out.updates = updates;
+  out.newly_labeled = newly;
+
+  frontier_ = next_buffers_.gather();
+  for (const NodeId v : frontier_) in_next_frontier_[v] = 0;
+  frontier_labels_.resize(frontier_.size());
+  for (std::size_t i = 0; i < frontier_.size(); ++i) {
+    frontier_labels_[i] = std::atomic_ref<PackedLabel>(labels_[frontier_[i]])
+                              .load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+GrowingStepResult GrowingEngine::step_pull(const GrowingStepParams& params) {
+  GrowingStepResult out;
+  const NodeId n = g_.num_nodes();
+  std::uint64_t messages = 0, updates = 0, newly = 0;
+
+#pragma omp parallel for schedule(dynamic, 1024) \
+    reduction(+ : messages, updates, newly)
+  for (NodeId v = 0; v < n; ++v) {
+    next_changed_[v] = 0;
+    if (blocked_[v]) {
+      scratch_[v] = labels_[v];
+      continue;
+    }
+    PackedLabel best = labels_[v];
+    const auto nbr = g_.neighbors(v);
+    const auto wts = g_.weights(v);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      const NodeId u = nbr[i];
+      // Nodes unchanged since the last step already delivered their
+      // proposal in an earlier round; skipping them keeps the message count
+      // identical to the push policy.
+      if (!changed_[u]) continue;
+      const Weight w = wts[i];
+      if (w > params.light_threshold) continue;
+      const PackedLabel lab = labels_[u];
+      if (!label_assigned(lab)) continue;
+      const float b = label_dist(lab);
+      const NodeId c = label_center(lab);
+      const Weight budget = budget_of(params, c);
+      if (!(static_cast<Weight>(b) < budget)) continue;
+      const Weight nb = static_cast<Weight>(b) + w;
+      if (nb > budget) continue;
+      ++messages;
+      best = std::min(best, pack_label(static_cast<float>(nb), c));
+    }
+    scratch_[v] = best;
+    if (best != labels_[v]) {
+      next_changed_[v] = 1;
+      ++updates;
+      if (labels_[v] == kUnassignedLabel) ++newly;
+    }
+  }
+
+  labels_.swap(scratch_);
+  changed_.swap(next_changed_);
+  out.messages = messages;
+  out.updates = updates;
+  out.newly_labeled = newly;
+  return out;
+}
+
+}  // namespace gdiam::core

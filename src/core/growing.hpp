@@ -1,0 +1,166 @@
+#pragma once
+// The Δ-growing step engine (Section 3 of the paper).
+//
+// One Δ-growing step: "for each node u with d_u < Δ and for each light edge
+// (u,v), in parallel, if d_u + w(u,v) ≤ Δ and d_v > d_u + w(u,v) then set
+// d_v = d_u + w(u,v), c_v = c_u", ties resolved by smallest distance then
+// smallest center index (implemented as a min-reduction over packed labels —
+// see core/labels.hpp).
+//
+// The engine generalizes the step slightly so the same kernel serves both
+// CLUSTER and CLUSTER2:
+//   * `light_threshold` — edges heavier than this are never relaxed
+//     (Δ for CLUSTER; 2·R_CL(τ) for CLUSTER2);
+//   * a growth budget, either uniform (CLUSTER: d_u + w ≤ Δ) or per-center
+//     (CLUSTER2: d_u + w ≤ (i − birth(c) + 1)·2R, the equivalent of the
+//     weight rescaling in Procedure Contract2 — see DESIGN.md §3);
+//   * `blocked` nodes — members of already-contracted clusters: they still
+//     propose (they are the cluster's boundary re-attached to its center by
+//     Procedure Contract) but never accept a new label.
+//
+// Two execution policies produce bit-identical labels per step:
+//   * kPush — frontier-driven: only nodes whose label changed in the previous
+//     step send proposals; conflicts resolved by atomic min. Fast path.
+//   * kPull — dense synchronous Jacobi sweep into a double buffer; the
+//     MR-faithful formulation (each step is literally one round of message
+//     exchange). Reference implementation for tests and ablations.
+//
+// MR accounting: one relaxation round per step; a message is one proposal
+// that satisfies the light/budget conditions; a node update is one accepted
+// label improvement.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/labels.hpp"
+#include "graph/graph.hpp"
+#include "mr/stats.hpp"
+#include "util/parallel.hpp"
+
+namespace gdiam::core {
+
+enum class GrowingPolicy { kPush, kPull };
+
+/// Per-step configuration. Exactly one of uniform budget / per-center budget
+/// is in effect: `center_budget == nullptr` selects the uniform budget.
+struct GrowingStepParams {
+  /// Edges with w > light_threshold are ignored ("heavy" for this phase).
+  Weight light_threshold = kInfiniteWeight;
+  /// CLUSTER-style uniform budget Δ: relax only while d_u + w ≤ Δ.
+  Weight uniform_budget = kInfiniteWeight;
+  /// CLUSTER2-style per-center budgets, indexed by the *center's node id*.
+  const std::vector<Weight>* center_budget = nullptr;
+};
+
+struct GrowingStepResult {
+  std::uint64_t messages = 0;       // proposals satisfying the conditions
+  std::uint64_t updates = 0;        // accepted label improvements
+  std::uint64_t newly_labeled = 0;  // updates that hit an unassigned node
+};
+
+class GrowingEngine {
+ public:
+  GrowingEngine(const Graph& g, GrowingPolicy policy);
+
+  /// Back to the pristine state: all labels unassigned, nothing blocked.
+  void reset();
+
+  /// Clears every label to unassigned but keeps the blocked set
+  /// (start of a CLUSTER stage: clusters re-grow from scratch as sources).
+  void clear_labels();
+
+  /// Installs a source label (d = `dist`, center = `center`) on `u`,
+  /// bypassing the blocked check. Sources with dist 0 are cluster centers or
+  /// contracted-cluster boundary nodes.
+  void set_source(NodeId u, NodeId center, Weight dist = 0.0);
+
+  /// Marks `u` as a contracted-cluster member: it keeps proposing from its
+  /// current label but never accepts updates.
+  void block(NodeId u) noexcept { blocked_[u] = 1; }
+  [[nodiscard]] bool is_blocked(NodeId u) const noexcept {
+    return blocked_[u] != 0;
+  }
+
+  [[nodiscard]] PackedLabel label(NodeId u) const noexcept {
+    return labels_[u];
+  }
+  [[nodiscard]] const std::vector<PackedLabel>& labels() const noexcept {
+    return labels_;
+  }
+
+  /// Recomputes the active set from scratch: every labeled node that could
+  /// still propose under `params`. Call before the first step of a growth
+  /// phase, and again after raising Δ (nodes stuck at the old budget
+  /// boundary become active again).
+  void rebuild_frontier(const GrowingStepParams& params);
+
+  /// Executes one Δ-growing step; deterministic for a fixed label state.
+  GrowingStepResult step(const GrowingStepParams& params);
+
+  /// Aggregate outcome of a run of Δ-growing steps.
+  struct RunResult {
+    GrowingStepResult totals;
+    std::uint64_t steps = 0;
+    /// True when the run ended because a step produced no update.
+    bool fixpoint = false;
+    /// True when the run ended because the step cap was exhausted while
+    /// updates were still flowing (the Section 4 bounded-rounds regime).
+    bool hit_step_cap = false;
+  };
+
+  /// Runs steps until fixpoint (no update) or `max_steps` (0 = unbounded) or
+  /// `stop` returns true (evaluated after each step on the running totals).
+  /// Adds one relaxation round per executed step to `stats`.
+  template <typename StopFn>
+  RunResult run(const GrowingStepParams& params, mr::RoundStats& stats,
+                std::uint64_t max_steps, StopFn&& stop) {
+    RunResult out;
+    while (max_steps == 0 || out.steps < max_steps) {
+      const GrowingStepResult r = step(params);
+      ++out.steps;
+      stats.relaxation_rounds += 1;
+      stats.messages += r.messages;
+      stats.node_updates += r.updates;
+      out.totals.messages += r.messages;
+      out.totals.updates += r.updates;
+      out.totals.newly_labeled += r.newly_labeled;
+      if (r.updates == 0) {
+        out.fixpoint = true;
+        break;
+      }
+      if (stop(out.totals)) return out;  // caller's coverage target met
+    }
+    out.hit_step_cap = !out.fixpoint && max_steps != 0 && out.steps >= max_steps;
+    return out;
+  }
+
+  [[nodiscard]] GrowingPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return g_; }
+
+ private:
+  GrowingStepResult step_push(const GrowingStepParams& params);
+  GrowingStepResult step_pull(const GrowingStepParams& params);
+
+  /// Budget of the cluster centered at `c` under `params`.
+  [[nodiscard]] static Weight budget_of(const GrowingStepParams& params,
+                                        NodeId c) noexcept {
+    return params.center_budget == nullptr ? params.uniform_budget
+                                           : (*params.center_budget)[c];
+  }
+
+  const Graph& g_;
+  GrowingPolicy policy_;
+  std::vector<PackedLabel> labels_;
+  std::vector<std::uint8_t> blocked_;
+  // push policy state
+  std::vector<NodeId> frontier_;
+  std::vector<PackedLabel> frontier_labels_;  // snapshot at step start
+  std::vector<std::uint8_t> in_next_frontier_;
+  util::ThreadBuffers<NodeId> next_buffers_;
+  // pull policy state
+  std::vector<PackedLabel> scratch_;
+  std::vector<std::uint8_t> changed_;  // nodes updated in the previous step
+  std::vector<std::uint8_t> next_changed_;
+};
+
+}  // namespace gdiam::core

@@ -1,0 +1,19 @@
+#include "core/labels.hpp"
+
+// Header-only; this translation unit pins the header's ODR-used constants
+// and gives static_assert coverage of the packing invariants.
+
+namespace gdiam::core {
+
+static_assert(label_dist(pack_label(0.0f, 7)) == 0.0f);
+static_assert(label_center(pack_label(0.0f, 7)) == 7);
+static_assert(pack_label(1.0f, 0) < pack_label(2.0f, 0),
+              "smaller distance must win the min-reduction");
+static_assert(pack_label(1.0f, 3) < pack_label(1.0f, 4),
+              "ties must be broken by smaller center id");
+static_assert(pack_label(2.0f, 0) < kUnassignedLabel,
+              "any real label must beat the unassigned state");
+static_assert(!label_assigned(kUnassignedLabel));
+static_assert(label_assigned(pack_label(0.0f, 0)));
+
+}  // namespace gdiam::core

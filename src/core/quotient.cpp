@@ -1,0 +1,162 @@
+#include "core/quotient.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/sweep.hpp"
+#include "util/rng.hpp"
+
+namespace gdiam::core {
+
+QuotientGraph build_quotient(const Graph& g, const Clustering& clustering) {
+  const NodeId n = g.num_nodes();
+  if (clustering.center_of.size() != n) {
+    throw std::invalid_argument("build_quotient: clustering/graph mismatch");
+  }
+
+  QuotientGraph out;
+  out.center_of_cluster = clustering.centers;
+  const auto k = static_cast<NodeId>(clustering.centers.size());
+
+  // center node id -> cluster index (centers are sorted ascending).
+  std::vector<NodeId> index_of_center(n, kInvalidNode);
+  for (NodeId i = 0; i < k; ++i) {
+    index_of_center[clustering.centers[i]] = i;
+  }
+  out.cluster_of_node.resize(n);
+  out.cluster_radius.assign(k, 0.0);
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId cu = index_of_center[clustering.center_of[u]];
+    out.cluster_of_node[u] = cu;
+    out.cluster_radius[cu] =
+        std::max(out.cluster_radius[cu], clustering.dist_to_center[u]);
+  }
+
+  GraphBuilder b(k);
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbr = g.neighbors(u);
+    const auto wts = g.weights(u);
+    const NodeId cu = out.cluster_of_node[u];
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      const NodeId v = nbr[i];
+      if (u >= v) continue;  // each undirected edge once
+      const NodeId cv = out.cluster_of_node[v];
+      if (cu == cv) continue;  // intra-cluster edges vanish
+      // Inter-cluster weight w(u,v) + d_u + d_v; GraphBuilder keeps the
+      // minimum over parallel edges (the paper's rule).
+      b.add_edge(cu, cv,
+                 wts[i] + clustering.dist_to_center[u] +
+                     clustering.dist_to_center[v]);
+    }
+  }
+  out.graph = b.build();
+  return out;
+}
+
+QuotientDiameterResult quotient_diameter(const Graph& quotient,
+                                         const QuotientDiameterOptions& opts) {
+  QuotientDiameterResult out;
+  const NodeId k = quotient.num_nodes();
+  if (k == 0) return out;
+
+  if (k <= opts.exact_threshold) {
+    out.diameter = sssp::exact_diameter(quotient);
+    out.exact = true;
+    return out;
+  }
+
+  util::Xoshiro256 rng(opts.seed);
+  Weight best = 0.0;
+  for (unsigned r = 0; r < std::max(1u, opts.restarts); ++r) {
+    const auto seed_node = static_cast<NodeId>(rng.next_bounded(k));
+    const auto sweep =
+        sssp::diameter_lower_bound(quotient, opts.sweeps, opts.seed, seed_node);
+    best = std::max(best, sweep.lower_bound);
+  }
+  out.diameter = best;
+  out.exact = false;
+  return out;
+}
+
+QuotientDiametersResult quotient_diameters(
+    const QuotientGraph& quotient, const QuotientDiameterOptions& opts) {
+  QuotientDiametersResult out;
+  const Graph& q = quotient.graph;
+  const NodeId k = q.num_nodes();
+  if (k == 0) return out;
+  const std::vector<Weight>& radius = quotient.cluster_radius;
+
+  // Intra-cluster pairs: dist(u, v) ≤ 2·r(C).
+  for (const Weight r : radius) out.augmented = std::max(out.augmented, 2.0 * r);
+
+  // One Dijkstra feeds both metrics: plain eccentricity and the
+  // radius-augmented eccentricity (max_j dist + r_j, plus r_c).
+  struct Ecc {
+    Weight plain = 0.0;
+    Weight augmented = 0.0;
+    NodeId far = 0;  // argmax in the augmented metric (sweep continuation)
+  };
+  auto both_ecc = [&](NodeId c) {
+    const auto dist = sssp::dijkstra_distances(q, c);
+    Ecc e;
+    e.far = c;
+    Weight aug_ecc = 0.0;
+    for (NodeId j = 0; j < k; ++j) {
+      if (dist[j] == kInfiniteWeight) continue;
+      e.plain = std::max(e.plain, dist[j]);
+      const Weight v = dist[j] + radius[j];
+      if (v > aug_ecc) {
+        aug_ecc = v;
+        e.far = j;
+      }
+    }
+    e.augmented = aug_ecc + radius[c];
+    return e;
+  };
+
+  if (k <= opts.exact_threshold) {
+    Weight plain = 0.0, augmented = out.augmented;
+#pragma omp parallel for schedule(dynamic, 16) \
+    reduction(max : plain, augmented)
+    for (NodeId c = 0; c < k; ++c) {
+      const Ecc e = both_ecc(c);
+      plain = std::max(plain, e.plain);
+      augmented = std::max(augmented, e.augmented);
+    }
+    out.plain = plain;
+    out.augmented = augmented;
+    out.exact = true;
+    return out;
+  }
+
+  // Large quotient: iterated sweeps (augmented metric drives the farthest
+  // hop), restarting from several seeds so disconnected quotients are
+  // probed too.
+  util::Xoshiro256 rng(opts.seed);
+  for (unsigned r = 0; r < std::max(1u, opts.restarts); ++r) {
+    NodeId source = static_cast<NodeId>(rng.next_bounded(k));
+    std::vector<NodeId> visited;
+    for (unsigned s = 0; s < std::max(1u, opts.sweeps); ++s) {
+      if (std::find(visited.begin(), visited.end(), source) != visited.end()) {
+        break;
+      }
+      visited.push_back(source);
+      const Ecc e = both_ecc(source);
+      out.plain = std::max(out.plain, e.plain);
+      out.augmented = std::max(out.augmented, e.augmented);
+      source = e.far;
+    }
+  }
+  out.exact = false;
+  return out;
+}
+
+QuotientDiameterResult quotient_diameter_radius_aware(
+    const QuotientGraph& quotient, const QuotientDiameterOptions& opts) {
+  const QuotientDiametersResult both = quotient_diameters(quotient, opts);
+  return QuotientDiameterResult{both.augmented, both.exact};
+}
+
+}  // namespace gdiam::core

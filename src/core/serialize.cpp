@@ -1,0 +1,101 @@
+#include "core/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace gdiam::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'D', 'C', 'L'};
+constexpr std::uint32_t kVersion = 1;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("gdiam::core::serialize: " + what);
+}
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void read_pod(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) fail("stream truncated");
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& in) {
+  std::uint64_t size = 0;
+  read_pod(in, size);
+  std::vector<T> v(size);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  if (!in) fail("stream truncated");
+  return v;
+}
+
+}  // namespace
+
+void write_clustering(const Clustering& c, std::ostream& out) {
+  out.write(kMagic, sizeof kMagic);
+  write_pod(out, kVersion);
+  write_vec(out, c.center_of);
+  write_vec(out, c.dist_to_center);
+  write_vec(out, c.centers);
+  write_pod(out, c.radius);
+  write_pod(out, c.delta_end);
+  write_pod(out, c.stages);
+  write_pod(out, c.stats);
+  if (!out) fail("write failed");
+}
+
+void write_clustering_file(const Clustering& c, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) fail("cannot open '" + path + "' for writing");
+  write_clustering(c, f);
+}
+
+Clustering read_clustering(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    fail("bad magic (not a gdiam clustering file)");
+  }
+  std::uint32_t version = 0;
+  read_pod(in, version);
+  if (version != kVersion) fail("unsupported version");
+
+  Clustering c;
+  c.center_of = read_vec<NodeId>(in);
+  c.dist_to_center = read_vec<Weight>(in);
+  c.centers = read_vec<NodeId>(in);
+  read_pod(in, c.radius);
+  read_pod(in, c.delta_end);
+  read_pod(in, c.stages);
+  read_pod(in, c.stats);
+  if (c.dist_to_center.size() != c.center_of.size() ||
+      c.centers.size() > c.center_of.size()) {
+    fail("inconsistent array sizes");
+  }
+  return c;
+}
+
+Clustering read_clustering_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) fail("cannot open '" + path + "' for reading");
+  return read_clustering(f);
+}
+
+}  // namespace gdiam::core

@@ -1,0 +1,26 @@
+#pragma once
+// Persistence of decomposition results.
+//
+// A CLUSTER/CLUSTER2 run on a massive graph is expensive; saving the
+// clustering lets downstream tools (quotient analytics, sharding, repeated
+// diameter queries at different quotient budgets) reuse it. Binary format
+// with a magic header and version, like graph/io.hpp's graph format.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/cluster.hpp"
+
+namespace gdiam::core {
+
+/// Writes a clustering (magic "GDCL", version, arrays). Throws
+/// std::runtime_error on I/O failure.
+void write_clustering(const Clustering& c, std::ostream& out);
+void write_clustering_file(const Clustering& c, const std::string& path);
+
+/// Reads a clustering written by write_clustering; validates the header and
+/// array-size consistency. Throws std::runtime_error on malformed input.
+[[nodiscard]] Clustering read_clustering(std::istream& in);
+[[nodiscard]] Clustering read_clustering_file(const std::string& path);
+
+}  // namespace gdiam::core

@@ -1,0 +1,84 @@
+#include "gen/basic.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+
+namespace gdiam::gen {
+
+Graph path(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId u = 0; u + 1 < n; ++u) b.add_edge(u, u + 1, 1.0);
+  return b.build();
+}
+
+Graph cycle(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId u = 0; u + 1 < n; ++u) b.add_edge(u, u + 1, 1.0);
+  if (n >= 3) b.add_edge(n - 1, 0, 1.0);
+  return b.build();
+}
+
+Graph star(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId u = 1; u < n; ++u) b.add_edge(0, u, 1.0);
+  return b.build();
+}
+
+Graph complete(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v, 1.0);
+  }
+  return b.build();
+}
+
+Graph binary_tree(NodeId n) {
+  GraphBuilder b(n);
+  for (NodeId u = 1; u < n; ++u) b.add_edge(u, (u - 1) / 2, 1.0);
+  return b.build();
+}
+
+Graph random_tree(NodeId n, util::Xoshiro256& rng) {
+  GraphBuilder b(n);
+  for (NodeId u = 1; u < n; ++u) {
+    const auto parent = static_cast<NodeId>(rng.next_bounded(u));
+    b.add_edge(u, parent, 1.0);
+  }
+  return b.build();
+}
+
+Graph gnm(NodeId n, EdgeIndex m, util::Xoshiro256& rng,
+          bool ensure_connected) {
+  if (n < 2 && m > 0) throw std::invalid_argument("gnm: n too small");
+  const auto max_edges =
+      static_cast<EdgeIndex>(n) * (n - 1) / 2;
+  if (m > max_edges) throw std::invalid_argument("gnm: m exceeds n*(n-1)/2");
+
+  GraphBuilder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  auto key = [](NodeId u, NodeId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  };
+  if (ensure_connected) {
+    for (NodeId u = 1; u < n; ++u) {
+      const auto parent = static_cast<NodeId>(rng.next_bounded(u));
+      if (seen.insert(key(u, parent)).second) b.add_edge(u, parent, 1.0);
+    }
+  }
+  EdgeIndex added = ensure_connected ? static_cast<EdgeIndex>(seen.size()) : 0;
+  while (added < m) {
+    const auto u = static_cast<NodeId>(rng.next_bounded(n));
+    const auto v = static_cast<NodeId>(rng.next_bounded(n));
+    if (u == v) continue;
+    if (!seen.insert(key(u, v)).second) continue;
+    b.add_edge(u, v, 1.0);
+    ++added;
+  }
+  return b.build();
+}
+
+}  // namespace gdiam::gen

@@ -1,0 +1,36 @@
+#pragma once
+// Elementary graph families (paths, cycles, stars, trees, complete graphs,
+// Erdős–Rényi) used as test fixtures, product-graph factors and baseline
+// topologies with analytically known diameters.
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace gdiam::gen {
+
+/// Path P_n with unit weights: diameter n-1.
+[[nodiscard]] Graph path(NodeId n);
+
+/// Cycle C_n with unit weights: diameter floor(n/2).
+[[nodiscard]] Graph cycle(NodeId n);
+
+/// Star K_{1,n-1} centered at node 0, unit weights: diameter 2 (n >= 3).
+[[nodiscard]] Graph star(NodeId n);
+
+/// Complete graph K_n, unit weights: diameter 1 (n >= 2).
+[[nodiscard]] Graph complete(NodeId n);
+
+/// Complete binary tree on n nodes (heap numbering), unit weights.
+[[nodiscard]] Graph binary_tree(NodeId n);
+
+/// Uniform random tree on n nodes (random attachment), unit weights.
+/// Always connected: used as the connectivity backbone of random fixtures.
+[[nodiscard]] Graph random_tree(NodeId n, util::Xoshiro256& rng);
+
+/// Erdős–Rényi G(n, m): m distinct uniform edges, unit weights.
+/// Not necessarily connected; pass `ensure_connected` to superimpose a
+/// random spanning tree.
+[[nodiscard]] Graph gnm(NodeId n, EdgeIndex m, util::Xoshiro256& rng,
+                        bool ensure_connected = false);
+
+}  // namespace gdiam::gen

@@ -1,0 +1,36 @@
+#include "gen/mesh.hpp"
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace gdiam::gen {
+
+Graph mesh(NodeId side) {
+  const auto n = static_cast<NodeId>(side * side);
+  GraphBuilder b(n);
+  for (NodeId r = 0; r < side; ++r) {
+    for (NodeId c = 0; c < side; ++c) {
+      const NodeId u = mesh_node(side, r, c);
+      if (c + 1 < side) b.add_edge(u, mesh_node(side, r, c + 1), 1.0);
+      if (r + 1 < side) b.add_edge(u, mesh_node(side, r + 1, c), 1.0);
+    }
+  }
+  return b.build();
+}
+
+Graph torus(NodeId side) {
+  if (side < 3) throw std::invalid_argument("torus: side must be >= 3");
+  const auto n = static_cast<NodeId>(side * side);
+  GraphBuilder b(n);
+  for (NodeId r = 0; r < side; ++r) {
+    for (NodeId c = 0; c < side; ++c) {
+      const NodeId u = mesh_node(side, r, c);
+      b.add_edge(u, mesh_node(side, r, (c + 1) % side), 1.0);
+      b.add_edge(u, mesh_node(side, (r + 1) % side, c), 1.0);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace gdiam::gen

@@ -1,0 +1,23 @@
+#pragma once
+// mesh(S): the S×S square mesh of the paper's experiments — a graph of known
+// doubling dimension b = 2 for which Corollary 1 applies. Also the torus
+// variant (no boundary effects) for property tests.
+
+#include "graph/graph.hpp"
+
+namespace gdiam::gen {
+
+/// S×S grid with unit weights. Node (r, c) has id r*S + c.
+/// n = S², m = 2S(S-1), unweighted diameter 2(S-1).
+[[nodiscard]] Graph mesh(NodeId side);
+
+/// S×S torus with unit weights (wrap-around rows and columns), S >= 3.
+[[nodiscard]] Graph torus(NodeId side);
+
+/// Node id of mesh cell (row, col) for an S-sided mesh.
+[[nodiscard]] constexpr NodeId mesh_node(NodeId side, NodeId row,
+                                         NodeId col) noexcept {
+  return row * side + col;
+}
+
+}  // namespace gdiam::gen

@@ -1,0 +1,50 @@
+#include "gen/product.hpp"
+
+#include <stdexcept>
+
+#include "gen/basic.hpp"
+#include "graph/builder.hpp"
+
+namespace gdiam::gen {
+
+Graph cartesian_product(const Graph& a, const Graph& b) {
+  const NodeId na = a.num_nodes(), nb = b.num_nodes();
+  const auto total = static_cast<std::uint64_t>(na) * nb;
+  if (total > static_cast<std::uint64_t>(kInvalidNode)) {
+    throw std::invalid_argument("cartesian_product: result too large");
+  }
+  GraphBuilder builder(static_cast<NodeId>(total));
+  // Edges inherited from A, replicated for every node of B.
+  for (NodeId u = 0; u < na; ++u) {
+    const auto nbr = a.neighbors(u);
+    const auto wts = a.weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      if (u < nbr[i]) {
+        for (NodeId x = 0; x < nb; ++x) {
+          builder.add_edge(product_node(nb, u, x), product_node(nb, nbr[i], x),
+                           wts[i]);
+        }
+      }
+    }
+  }
+  // Edges inherited from B, replicated for every node of A.
+  for (NodeId v = 0; v < nb; ++v) {
+    const auto nbr = b.neighbors(v);
+    const auto wts = b.weights(v);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      if (v < nbr[i]) {
+        for (NodeId x = 0; x < na; ++x) {
+          builder.add_edge(product_node(nb, x, v), product_node(nb, x, nbr[i]),
+                           wts[i]);
+        }
+      }
+    }
+  }
+  return builder.build();
+}
+
+Graph roads_product(NodeId copies, const Graph& base) {
+  return cartesian_product(path(copies), base);
+}
+
+}  // namespace gdiam::gen

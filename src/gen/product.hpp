@@ -1,0 +1,29 @@
+#pragma once
+// Cartesian graph products.
+//
+// roads(S) in the paper is "the cartesian product of a linear array of S
+// nodes (unit edge weights) with roads-USA": S stacked copies of the road
+// network with unit-weight rungs between consecutive copies. The general
+// product is provided here; gen::roads_product specializes it.
+
+#include "graph/graph.hpp"
+
+namespace gdiam::gen {
+
+/// Cartesian product A □ B: node (a, b) has id a * B.num_nodes() + b;
+/// (a,b)~(a',b) for every edge a~a' in A (weight inherited from A) and
+/// (a,b)~(a,b') for every edge b~b' in B (weight inherited from B).
+/// dist((a,b),(a',b')) = dist_A(a,a') + dist_B(b,b'), so the weighted
+/// diameter is Φ(A) + Φ(B).
+[[nodiscard]] Graph cartesian_product(const Graph& a, const Graph& b);
+
+/// Node id of (a, b) in cartesian_product(A, B).
+[[nodiscard]] constexpr NodeId product_node(NodeId b_nodes, NodeId a,
+                                            NodeId b) noexcept {
+  return a * b_nodes + b;
+}
+
+/// The paper's roads(S): path of `copies` nodes (unit weights) □ `base`.
+[[nodiscard]] Graph roads_product(NodeId copies, const Graph& base);
+
+}  // namespace gdiam::gen

@@ -1,0 +1,40 @@
+#pragma once
+// R-MAT recursive-matrix graphs (Chakrabarti, Zhan, Faloutsos, SDM'04).
+//
+// The paper's synthetic stand-in for social networks: power-law degree
+// distribution and small hop diameter. R-MAT(S) in the paper has n = 2^S
+// nodes and m = 16 * 2^S edges. This repo also uses R-MAT as the substitute
+// for the (unavailable) livejournal/twitter datasets — see DESIGN.md §2.
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace gdiam::gen {
+
+struct RmatParams {
+  /// Quadrant probabilities; must be positive and sum to 1.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  /// Per-level probability perturbation (+-noise factor), as recommended by
+  /// the R-MAT authors to avoid staircase artifacts. 0 disables.
+  double noise = 0.1;
+};
+
+/// R-MAT graph with 2^scale nodes and edge_factor * 2^scale generated edge
+/// samples (duplicates/self-loops removed afterwards, so the final m is
+/// slightly smaller — same convention as the reference generator).
+/// The result is symmetrized and unit-weighted; it is typically disconnected,
+/// so callers analyze the largest component (as the paper does for social
+/// graphs).
+[[nodiscard]] Graph rmat(unsigned scale, EdgeIndex edge_factor,
+                         util::Xoshiro256& rng,
+                         const RmatParams& params = {});
+
+/// Paper's R-MAT(S): edge_factor 16.
+[[nodiscard]] inline Graph rmat(unsigned scale, util::Xoshiro256& rng) {
+  return rmat(scale, 16, rng);
+}
+
+}  // namespace gdiam::gen

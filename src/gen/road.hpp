@@ -1,0 +1,39 @@
+#pragma once
+// Synthetic road networks.
+//
+// Substitute for the DIMACS roads-USA / roads-CAL inputs, which cannot be
+// downloaded in this environment (DESIGN.md §2). The generator produces the
+// structural regime that matters for the paper's comparison: near-planar,
+// bounded degree, edge weights proportional to Euclidean length, weighted
+// diameter that grows with sqrt(n) — i.e. the regime where Δ-stepping needs
+// Θ(hop-diameter) rounds and the clustering algorithm wins by orders of
+// magnitude. Real DIMACS data can still be used through io::read_dimacs.
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace gdiam::gen {
+
+struct RoadParams {
+  /// Probability that a grid street segment exists (creates holes/detours).
+  double keep_probability = 0.93;
+  /// Fraction of nodes sprouting one extra diagonal shortcut.
+  double diagonal_fraction = 0.05;
+  /// Grid spacing in weight units (roads-USA style integer distances).
+  double spacing = 100.0;
+  /// Max positional jitter as a fraction of spacing.
+  double jitter = 0.3;
+};
+
+/// Road-like network on a width x height jittered grid, integer Euclidean
+/// edge weights (>= 1). The returned graph is the largest connected
+/// component of the construction, so node count can be slightly below
+/// width*height.
+[[nodiscard]] Graph road_network(NodeId width, NodeId height,
+                                 util::Xoshiro256& rng,
+                                 const RoadParams& params = {});
+
+/// Convenience: roughly n-node road network (square aspect).
+[[nodiscard]] Graph road_network(NodeId approx_nodes, util::Xoshiro256& rng);
+
+}  // namespace gdiam::gen

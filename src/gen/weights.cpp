@@ -1,0 +1,57 @@
+#include "gen/weights.hpp"
+
+#include <algorithm>
+
+#include "graph/ops.hpp"
+#include "util/rng.hpp"
+
+namespace gdiam::gen {
+
+namespace {
+
+/// Stateless per-edge random value: hash (seed, min(u,v), max(u,v)).
+std::uint64_t edge_hash(std::uint64_t seed, NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  util::SplitMix64 sm(seed ^ (static_cast<std::uint64_t>(u) << 32 | v));
+  sm.next();  // decorrelate from the raw key
+  return sm.next();
+}
+
+double edge_unit_interval(std::uint64_t seed, NodeId u, NodeId v) {
+  return static_cast<double>(edge_hash(seed, u, v) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double edge_uniform_draw(std::uint64_t seed, NodeId u, NodeId v) {
+  return 1.0 - edge_unit_interval(seed, u, v);  // (0, 1]
+}
+
+Graph uniform_weights(const Graph& g, std::uint64_t seed) {
+  return reweight(g, [seed](NodeId u, NodeId v, Weight) {
+    return edge_uniform_draw(seed, u, v);
+  });
+}
+
+Graph uniform_int_weights(const Graph& g, std::uint64_t lo, std::uint64_t hi,
+                          std::uint64_t seed) {
+  if (lo == 0) lo = 1;  // weights must be positive
+  const std::uint64_t span = hi >= lo ? hi - lo + 1 : 1;
+  return reweight(g, [=](NodeId u, NodeId v, Weight) {
+    return static_cast<Weight>(lo + edge_hash(seed, u, v) % span);
+  });
+}
+
+Graph bimodal_weights(const Graph& g, Weight heavy_value, Weight light_value,
+                      double heavy_p, std::uint64_t seed) {
+  return reweight(g, [=](NodeId u, NodeId v, Weight) {
+    return edge_unit_interval(seed, u, v) < heavy_p ? heavy_value
+                                                    : light_value;
+  });
+}
+
+Graph unit_weights(const Graph& g) {
+  return reweight(g, [](NodeId, NodeId, Weight) { return 1.0; });
+}
+
+}  // namespace gdiam::gen

@@ -1,0 +1,41 @@
+#pragma once
+// Edge-weight assignment.
+//
+// Topology generators emit unit weights; these helpers re-weight a graph the
+// way the paper does ("we assigned uniform random edge weights in (0,1]
+// according to the approach commonly adopted in the literature"), plus the
+// bimodal distribution of the Section 5 Δ-initialization study.
+//
+// Weights are derived from a hash of (seed, u, v) rather than a sequential
+// RNG, so the assignment is independent of edge enumeration order and stable
+// under graph rebuilds.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace gdiam::gen {
+
+/// Uniform weights in (0, 1].
+[[nodiscard]] Graph uniform_weights(const Graph& g, std::uint64_t seed);
+
+/// Uniform integral weights in [lo, hi] (paper's theory assumes positive
+/// integral weights polynomial in n).
+[[nodiscard]] Graph uniform_int_weights(const Graph& g, std::uint64_t lo,
+                                        std::uint64_t hi, std::uint64_t seed);
+
+/// Bimodal weights: `heavy_value` with probability heavy_p, else
+/// `light_value`. The paper's Δ-init experiment uses heavy=1 (p=0.1),
+/// light=1e-6 on mesh(2048).
+[[nodiscard]] Graph bimodal_weights(const Graph& g, Weight heavy_value,
+                                    Weight light_value, double heavy_p,
+                                    std::uint64_t seed);
+
+/// All weights = 1 (makes the weighted diameter equal the hop diameter).
+[[nodiscard]] Graph unit_weights(const Graph& g);
+
+/// The per-edge uniform (0,1] draw used by uniform_weights; exposed for
+/// tests asserting order independence.
+[[nodiscard]] double edge_uniform_draw(std::uint64_t seed, NodeId u, NodeId v);
+
+}  // namespace gdiam::gen

@@ -1,0 +1,78 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gdiam {
+
+Components connected_components(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> label(n);
+  std::iota(label.begin(), label.end(), NodeId{0});
+
+  // Synchronous min-label propagation with pointer-jumping style shortcuts:
+  // converges in O(components' hop diameter) sweeps; each sweep is parallel
+  // and deterministic (pure min-reduction).
+  bool changed = n > 0;
+  std::vector<NodeId> next(label);
+  while (changed) {
+    changed = false;
+#pragma omp parallel for schedule(dynamic, 2048) reduction(|| : changed)
+    for (NodeId u = 0; u < n; ++u) {
+      NodeId best = label[u];
+      for (const NodeId v : g.neighbors(u)) best = std::min(best, label[v]);
+      if (best != label[u]) {
+        next[u] = best;
+        changed = true;
+      } else {
+        next[u] = label[u];
+      }
+    }
+    label.swap(next);
+  }
+
+  // Compact labels to [0, count) and order components by decreasing size
+  // so that component 0 is the largest.
+  std::vector<NodeId> roots;
+  for (NodeId u = 0; u < n; ++u) {
+    if (label[u] == u) roots.push_back(u);
+  }
+  std::vector<NodeId> size_of_root(n, 0);
+  for (NodeId u = 0; u < n; ++u) size_of_root[label[u]]++;
+  std::sort(roots.begin(), roots.end(), [&](NodeId a, NodeId b) {
+    if (size_of_root[a] != size_of_root[b]) {
+      return size_of_root[a] > size_of_root[b];
+    }
+    return a < b;
+  });
+  std::vector<NodeId> compact(n, kInvalidNode);
+  Components out;
+  out.count = static_cast<NodeId>(roots.size());
+  out.sizes.resize(roots.size());
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    compact[roots[i]] = static_cast<NodeId>(i);
+    out.sizes[i] = size_of_root[roots[i]];
+  }
+  out.component_of.resize(n);
+#pragma omp parallel for schedule(static)
+  for (NodeId u = 0; u < n; ++u) {
+    out.component_of[u] = compact[label[u]];
+  }
+  return out;
+}
+
+Subgraph largest_component(const Graph& g) {
+  const Components cc = connected_components(g);
+  std::vector<NodeId> keep;
+  keep.reserve(cc.sizes.empty() ? 0 : cc.sizes[0]);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (cc.component_of[u] == 0) keep.push_back(u);
+  }
+  return induced_subgraph(g, keep);
+}
+
+bool is_connected(const Graph& g) {
+  return connected_components(g).count <= 1;
+}
+
+}  // namespace gdiam

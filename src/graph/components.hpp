@@ -1,0 +1,35 @@
+#pragma once
+// Connected components.
+//
+// The paper defines the diameter of a disconnected graph as the largest
+// distance within a component, and evaluates social graphs on their giant
+// component. This module provides a parallel label-propagation component
+// finder and largest-component extraction.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/ops.hpp"
+
+namespace gdiam {
+
+struct Components {
+  /// Component id per node, in [0, count); id 0 is the largest component.
+  std::vector<NodeId> component_of;
+  NodeId count = 0;
+  /// Node count per component id.
+  std::vector<NodeId> sizes;
+};
+
+/// Parallel connected components (synchronous min-label propagation, the
+/// weight-oblivious analogue of a Δ-growing step). Deterministic.
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// Induced subgraph on the largest component (the whole graph when
+/// connected — still returns a relabeled copy).
+[[nodiscard]] Subgraph largest_component(const Graph& g);
+
+/// True when the graph has at most one component.
+[[nodiscard]] bool is_connected(const Graph& g);
+
+}  // namespace gdiam

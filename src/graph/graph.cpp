@@ -1,0 +1,83 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gdiam {
+
+Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<NodeId> targets,
+             std::vector<Weight> weights)
+    : offsets_(std::move(offsets)),
+      targets_(std::move(targets)),
+      weights_(std::move(weights)) {
+  if (offsets_.empty()) offsets_.push_back(0);
+  if (offsets_.back() != targets_.size() ||
+      targets_.size() != weights_.size()) {
+    throw std::invalid_argument("Graph: inconsistent CSR array sizes");
+  }
+  compute_weight_stats();
+}
+
+void Graph::compute_weight_stats() noexcept {
+  if (weights_.empty()) {
+    min_weight_ = max_weight_ = avg_weight_ = 0.0;
+    return;
+  }
+  Weight mn = kInfiniteWeight, mx = 0.0, sum = 0.0;
+#pragma omp parallel for reduction(min : mn) reduction(max : mx) \
+    reduction(+ : sum) schedule(static)
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    mn = std::min(mn, weights_[i]);
+    mx = std::max(mx, weights_[i]);
+    sum += weights_[i];
+  }
+  min_weight_ = mn;
+  max_weight_ = mx;
+  avg_weight_ = sum / static_cast<Weight>(weights_.size());
+}
+
+bool Graph::validate() const {
+  if (offsets_.empty() || offsets_.front() != 0) return false;
+  if (!std::is_sorted(offsets_.begin(), offsets_.end())) return false;
+  if (offsets_.back() != targets_.size()) return false;
+  if (targets_.size() != weights_.size()) return false;
+  const NodeId n = num_nodes();
+  for (const NodeId t : targets_) {
+    if (t >= n) return false;
+  }
+  for (const Weight w : weights_) {
+    if (!(w > 0.0) || w == kInfiniteWeight) return false;
+  }
+  return true;
+}
+
+bool Graph::is_symmetric() const {
+  const NodeId n = num_nodes();
+  bool ok = true;
+#pragma omp parallel for schedule(dynamic, 1024) reduction(&& : ok)
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nbr = neighbors(u);
+    const auto wts = weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      const NodeId v = nbr[i];
+      if (v == u) {
+        ok = false;  // self-loop
+        continue;
+      }
+      // Look for the reverse arc with equal weight.
+      const auto rn = neighbors(v);
+      const auto rw = weights(v);
+      bool found = false;
+      for (std::size_t j = 0; j < rn.size(); ++j) {
+        if (rn[j] == u && rw[j] == wts[i]) {
+          found = true;
+          break;
+        }
+      }
+      ok = ok && found;
+    }
+  }
+  return ok;
+}
+
+}  // namespace gdiam

@@ -1,0 +1,119 @@
+#pragma once
+// Immutable CSR representation of an undirected weighted graph.
+//
+// This is the substrate every algorithm in gdiam operates on. Graphs are
+// built once (see graph/builder.hpp) and then treated as read-only, so all
+// parallel kernels can share them without synchronization.
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace gdiam {
+
+using NodeId = std::uint32_t;
+using EdgeIndex = std::uint64_t;
+using Weight = double;
+
+/// Sentinel for "no node" (also used as the undefined cluster center).
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr Weight kInfiniteWeight =
+    std::numeric_limits<Weight>::infinity();
+
+/// One undirected edge; the builder symmetrizes, so (u,v) and (v,u) denote
+/// the same edge.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  Weight w = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+using EdgeList = std::vector<Edge>;
+
+/// Undirected weighted graph in compressed-sparse-row form.
+///
+/// Internally each undirected edge is stored twice (both directions), so
+/// `num_directed_edges() == 2 * num_edges()`. All edge weights are positive
+/// and finite (enforced by GraphBuilder).
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of validated CSR arrays; use GraphBuilder to construct
+  /// from an edge list. Pre: offsets.size() == n+1, offsets is nondecreasing,
+  /// offsets.back() == targets.size() == weights.size().
+  Graph(std::vector<EdgeIndex> offsets, std::vector<NodeId> targets,
+        std::vector<Weight> weights);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  [[nodiscard]] EdgeIndex num_edges() const noexcept {
+    return static_cast<EdgeIndex>(targets_.size() / 2);
+  }
+
+  /// Number of stored arcs (2 per undirected edge).
+  [[nodiscard]] EdgeIndex num_directed_edges() const noexcept {
+    return static_cast<EdgeIndex>(targets_.size());
+  }
+
+  [[nodiscard]] EdgeIndex degree(NodeId u) const noexcept {
+    assert(u < num_nodes());
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  /// Neighbor ids of u, aligned with weights(u).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const noexcept {
+    assert(u < num_nodes());
+    return {targets_.data() + offsets_[u],
+            static_cast<std::size_t>(offsets_[u + 1] - offsets_[u])};
+  }
+
+  /// Weights of u's incident edges, aligned with neighbors(u).
+  [[nodiscard]] std::span<const Weight> weights(NodeId u) const noexcept {
+    assert(u < num_nodes());
+    return {weights_.data() + offsets_[u],
+            static_cast<std::size_t>(offsets_[u + 1] - offsets_[u])};
+  }
+
+  /// Raw CSR accessors (used by kernels that iterate arcs directly).
+  [[nodiscard]] const std::vector<EdgeIndex>& offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& targets() const noexcept {
+    return targets_;
+  }
+  [[nodiscard]] const std::vector<Weight>& edge_weights() const noexcept {
+    return weights_;
+  }
+
+  /// Smallest / largest / mean edge weight; 0 for edgeless graphs.
+  [[nodiscard]] Weight min_weight() const noexcept { return min_weight_; }
+  [[nodiscard]] Weight max_weight() const noexcept { return max_weight_; }
+  [[nodiscard]] Weight avg_weight() const noexcept { return avg_weight_; }
+
+  /// True when both directions of every arc are present with equal weight
+  /// and there are no self-loops — the invariant GraphBuilder establishes.
+  [[nodiscard]] bool is_symmetric() const;
+
+  /// Cheap structural sanity check of the CSR arrays.
+  [[nodiscard]] bool validate() const;
+
+ private:
+  void compute_weight_stats() noexcept;
+
+  std::vector<EdgeIndex> offsets_{0};  // size n+1
+  std::vector<NodeId> targets_;     // size 2m
+  std::vector<Weight> weights_;     // size 2m
+  Weight min_weight_ = 0.0;
+  Weight max_weight_ = 0.0;
+  Weight avg_weight_ = 0.0;
+};
+
+}  // namespace gdiam

@@ -1,0 +1,213 @@
+#include "graph/io.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+
+namespace gdiam::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("gdiam::io: " + what);
+}
+
+std::ifstream open_in(const std::string& path, std::ios::openmode mode) {
+  std::ifstream f(path, mode);
+  if (!f) fail("cannot open '" + path + "' for reading");
+  return f;
+}
+
+std::ofstream open_out(const std::string& path, std::ios::openmode mode) {
+  std::ofstream f(path, mode);
+  if (!f) fail("cannot open '" + path + "' for writing");
+  return f;
+}
+
+constexpr char kBinaryMagic[4] = {'G', 'D', 'I', 'A'};
+constexpr std::uint32_t kBinaryVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+void read_pod(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) fail("binary stream truncated");
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& in) {
+  std::uint64_t size = 0;
+  read_pod(in, size);
+  std::vector<T> v(size);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  if (!in) fail("binary stream truncated");
+  return v;
+}
+
+}  // namespace
+
+Graph read_dimacs(std::istream& in) {
+  std::string line;
+  NodeId n = 0;
+  bool have_header = false;
+  GraphBuilder builder(0);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'c') continue;  // comment
+    if (tag == 'p') {
+      std::string kind;
+      std::uint64_t hn = 0, hm = 0;
+      ls >> kind >> hn >> hm;
+      if (!ls || kind != "sp") fail("bad DIMACS problem line: " + line);
+      n = static_cast<NodeId>(hn);
+      builder = GraphBuilder(n);
+      have_header = true;
+    } else if (tag == 'a') {
+      if (!have_header) fail("DIMACS arc before problem line");
+      std::uint64_t u = 0, v = 0;
+      double w = 0.0;
+      ls >> u >> v >> w;
+      if (!ls || u == 0 || v == 0 || u > n || v > n) {
+        fail("bad DIMACS arc line: " + line);
+      }
+      if (u != v) {
+        builder.add_edge(static_cast<NodeId>(u - 1),
+                         static_cast<NodeId>(v - 1), w);
+      }
+    } else {
+      fail("unknown DIMACS line tag '" + std::string(1, tag) + "'");
+    }
+  }
+  if (!have_header) fail("missing DIMACS problem line");
+  return builder.build();
+}
+
+Graph read_dimacs_file(const std::string& path) {
+  auto f = open_in(path, std::ios::in);
+  return read_dimacs(f);
+}
+
+void write_dimacs(const Graph& g, std::ostream& out) {
+  out << "c gdiam export\n";
+  out << "p sp " << g.num_nodes() << ' ' << g.num_directed_edges() << '\n';
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbr = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      const auto w =
+          static_cast<std::uint64_t>(std::max(1.0, std::ceil(wts[i])));
+      out << "a " << (u + 1) << ' ' << (nbr[i] + 1) << ' ' << w << '\n';
+    }
+  }
+}
+
+void write_dimacs_file(const Graph& g, const std::string& path) {
+  auto f = open_out(path, std::ios::out);
+  write_dimacs(g, f);
+}
+
+Graph read_edge_list(std::istream& in, bool compact_ids) {
+  EdgeList raw;
+  std::unordered_map<std::uint64_t, NodeId> remap;
+  std::uint64_t max_id = 0;
+  auto map_id = [&](std::uint64_t id) -> NodeId {
+    if (!compact_ids) {
+      max_id = std::max(max_id, id);
+      return static_cast<NodeId>(id);
+    }
+    auto [it, inserted] = remap.try_emplace(
+        id, static_cast<NodeId>(remap.size()));
+    return it->second;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#' || line[first] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    double w = 1.0;
+    ls >> u >> v;
+    if (!ls) fail("bad edge list line: " + line);
+    ls >> w;  // optional third column
+    if (ls.fail()) w = 1.0;
+    const NodeId mu = map_id(u), mv = map_id(v);
+    if (mu != mv) raw.push_back(Edge{mu, mv, w});
+  }
+  const NodeId n = compact_ids ? static_cast<NodeId>(remap.size())
+                               : static_cast<NodeId>(raw.empty() && max_id == 0
+                                                         ? 0
+                                                         : max_id + 1);
+  return build_graph(n, raw);
+}
+
+Graph read_edge_list_file(const std::string& path, bool compact_ids) {
+  auto f = open_in(path, std::ios::in);
+  return read_edge_list(f, compact_ids);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  out << "# gdiam edge list: u v w (one line per undirected edge)\n";
+  for (const Edge& e : to_edge_list(g)) {
+    out << e.u << ' ' << e.v << ' ' << e.w << '\n';
+  }
+}
+
+void write_binary(const Graph& g, std::ostream& out) {
+  out.write(kBinaryMagic, sizeof kBinaryMagic);
+  write_pod(out, kBinaryVersion);
+  write_vec(out, g.offsets());
+  write_vec(out, g.targets());
+  write_vec(out, g.edge_weights());
+  if (!out) fail("binary write failed");
+}
+
+void write_binary_file(const Graph& g, const std::string& path) {
+  auto f = open_out(path, std::ios::binary);
+  write_binary(g, f);
+}
+
+Graph read_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kBinaryMagic, sizeof magic) != 0) {
+    fail("bad binary magic");
+  }
+  std::uint32_t version = 0;
+  read_pod(in, version);
+  if (version != kBinaryVersion) fail("unsupported binary version");
+  auto offsets = read_vec<EdgeIndex>(in);
+  auto targets = read_vec<NodeId>(in);
+  auto weights = read_vec<Weight>(in);
+  return Graph(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+Graph read_binary_file(const std::string& path) {
+  auto f = open_in(path, std::ios::binary);
+  return read_binary(f);
+}
+
+}  // namespace gdiam::io

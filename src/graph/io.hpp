@@ -1,0 +1,46 @@
+#pragma once
+// Graph serialization.
+//
+// Three interchange formats so users can run the paper's real datasets:
+//  * DIMACS ".gr" — the 9th DIMACS shortest-path challenge format used by
+//    roads-USA / roads-CAL ("p sp n m" header, "a u v w" arc lines, 1-based).
+//  * SNAP edge list — whitespace-separated "u v [w]" lines with '#' comments,
+//    the format of the SNAP/LAW social graphs (weight defaults to 1).
+//  * gdiam binary — fast load/store of the CSR arrays with a magic header.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace gdiam::io {
+
+/// Reads a DIMACS .gr stream. Arcs appearing in both directions collapse to
+/// one undirected edge (min weight). Throws std::runtime_error on malformed
+/// input.
+[[nodiscard]] Graph read_dimacs(std::istream& in);
+[[nodiscard]] Graph read_dimacs_file(const std::string& path);
+
+/// Writes DIMACS .gr (each undirected edge emitted as two arcs, weights
+/// rounded up to ≥1 integers when fractional — DIMACS weights are integral).
+void write_dimacs(const Graph& g, std::ostream& out);
+void write_dimacs_file(const Graph& g, const std::string& path);
+
+/// Reads a SNAP-style edge list: "u v" or "u v w" per line, '#' comments.
+/// Node ids need not be contiguous; they are compacted preserving order of
+/// first appearance when `compact_ids`, else taken literally (max id + 1
+/// nodes). Directed inputs are symmetrized (paper: "the twitter graph,
+/// originally directed, has been symmetrized").
+[[nodiscard]] Graph read_edge_list(std::istream& in, bool compact_ids = true);
+[[nodiscard]] Graph read_edge_list_file(const std::string& path,
+                                        bool compact_ids = true);
+
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// gdiam binary format (magic "GDIA", version, CSR arrays, little-endian).
+void write_binary(const Graph& g, std::ostream& out);
+void write_binary_file(const Graph& g, const std::string& path);
+[[nodiscard]] Graph read_binary(std::istream& in);
+[[nodiscard]] Graph read_binary_file(const std::string& path);
+
+}  // namespace gdiam::io

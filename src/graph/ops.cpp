@@ -1,0 +1,74 @@
+#include "graph/ops.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+
+namespace gdiam {
+
+Subgraph induced_subgraph(const Graph& g, const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> selected = nodes;
+  std::sort(selected.begin(), selected.end());
+  selected.erase(std::unique(selected.begin(), selected.end()),
+                 selected.end());
+
+  std::vector<NodeId> to_new(g.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    to_new[selected[i]] = static_cast<NodeId>(i);
+  }
+
+  GraphBuilder b(static_cast<NodeId>(selected.size()));
+  for (const NodeId u : selected) {
+    const auto nbr = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      const NodeId v = nbr[i];
+      if (u < v && to_new[v] != kInvalidNode) {
+        b.add_edge(to_new[u], to_new[v], wts[i]);
+      }
+    }
+  }
+  return Subgraph{b.build(), std::move(selected)};
+}
+
+Graph reweight(const Graph& g,
+               const std::function<Weight(NodeId, NodeId, Weight)>& fn) {
+  GraphBuilder b(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbr = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      if (u < nbr[i]) b.add_edge(u, nbr[i], fn(u, nbr[i], wts[i]));
+    }
+  }
+  return b.build();
+}
+
+bool has_edge(const Graph& g, NodeId u, NodeId v) {
+  return edge_weight(g, u, v) != kInfiniteWeight;
+}
+
+Weight edge_weight(const Graph& g, NodeId u, NodeId v) {
+  const auto nbr = g.neighbors(u);
+  const auto wts = g.weights(u);
+  for (std::size_t i = 0; i < nbr.size(); ++i) {
+    if (nbr[i] == v) return wts[i];
+  }
+  return kInfiniteWeight;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  const NodeId n = g.num_nodes();
+  if (n == 0) return s;
+  s.min = g.degree(0);
+  for (NodeId u = 0; u < n; ++u) {
+    const EdgeIndex d = g.degree(u);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+  }
+  s.avg = static_cast<double>(g.num_directed_edges()) / n;
+  return s;
+}
+
+}  // namespace gdiam

@@ -1,0 +1,45 @@
+#pragma once
+// Structural graph operations: induced subgraphs, relabeling, reweighting,
+// degree statistics. Used by component extraction, the generators, and the
+// ablation benches.
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gdiam {
+
+/// Result of extracting an induced subgraph: the new graph plus the mapping
+/// from new node ids back to the original ids.
+struct Subgraph {
+  Graph graph;
+  std::vector<NodeId> to_original;  // size graph.num_nodes()
+};
+
+/// Induced subgraph on `nodes` (original ids; duplicates ignored).
+/// Edges with both endpoints selected are kept with their weights.
+[[nodiscard]] Subgraph induced_subgraph(const Graph& g,
+                                        const std::vector<NodeId>& nodes);
+
+/// Returns a copy of `g` with every edge weight replaced by
+/// `fn(u, v, old_weight)` evaluated once per undirected edge (u < v).
+[[nodiscard]] Graph reweight(
+    const Graph& g, const std::function<Weight(NodeId, NodeId, Weight)>& fn);
+
+/// True when (u, v) is an edge; O(deg(u)).
+[[nodiscard]] bool has_edge(const Graph& g, NodeId u, NodeId v);
+
+/// Weight of edge (u, v); kInfiniteWeight when absent.
+[[nodiscard]] Weight edge_weight(const Graph& g, NodeId u, NodeId v);
+
+/// Summary used by Table 1 and the examples.
+struct DegreeStats {
+  EdgeIndex min = 0;
+  EdgeIndex max = 0;
+  double avg = 0.0;
+};
+
+[[nodiscard]] DegreeStats degree_stats(const Graph& g);
+
+}  // namespace gdiam

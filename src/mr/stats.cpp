@@ -1,0 +1,21 @@
+#include "mr/stats.hpp"
+
+#include <cstdio>
+
+namespace gdiam::mr {
+
+std::string to_string(const RoundStats& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "rounds=%llu (relax=%llu aux=%llu) messages=%.3e "
+                "updates=%.3e work=%.3e",
+                static_cast<unsigned long long>(s.rounds()),
+                static_cast<unsigned long long>(s.relaxation_rounds),
+                static_cast<unsigned long long>(s.auxiliary_rounds),
+                static_cast<double>(s.messages),
+                static_cast<double>(s.node_updates),
+                static_cast<double>(s.work()));
+  return buf;
+}
+
+}  // namespace gdiam::mr

@@ -1,0 +1,61 @@
+#pragma once
+// MapReduce cost accounting.
+//
+// The paper evaluates algorithms on Spark and reports, besides wall-clock
+// time, two platform-independent indicators (Section 5):
+//   * rounds — MapReduce communication rounds. Per Fact 1 each Δ-growing /
+//     Δ-stepping relaxation phase is O(1) rounds in MR(M_T, M_L); we charge
+//     exactly 1 round per synchronous relaxation phase and 1 per auxiliary
+//     phase (center selection, contraction, bucket scan), for both the
+//     clustering algorithm and Δ-stepping, so the comparison is fair.
+//   * work — "the sum of node updates and messages generated": a message is
+//     one relaxation request sent along an edge, a node update is one
+//     accepted improvement of a node's tentative state.
+//
+// Every parallel algorithm in gdiam fills a RoundStats, which the Table 2 /
+// Figure 2 / Figure 3 benches print directly.
+
+#include <cstdint>
+#include <string>
+
+namespace gdiam::mr {
+
+struct RoundStats {
+  /// Synchronous relaxation phases (Δ-growing steps / Δ-stepping phases).
+  std::uint64_t relaxation_rounds = 0;
+  /// Auxiliary MR phases: center selection, contraction, bucket management.
+  std::uint64_t auxiliary_rounds = 0;
+  /// Relaxation requests generated (messages over edges).
+  std::uint64_t messages = 0;
+  /// Accepted improvements of node state.
+  std::uint64_t node_updates = 0;
+
+  [[nodiscard]] std::uint64_t rounds() const noexcept {
+    return relaxation_rounds + auxiliary_rounds;
+  }
+
+  /// The paper's "work" metric: node updates + messages.
+  [[nodiscard]] std::uint64_t work() const noexcept {
+    return messages + node_updates;
+  }
+
+  RoundStats& operator+=(const RoundStats& other) noexcept {
+    relaxation_rounds += other.relaxation_rounds;
+    auxiliary_rounds += other.auxiliary_rounds;
+    messages += other.messages;
+    node_updates += other.node_updates;
+    return *this;
+  }
+
+  friend RoundStats operator+(RoundStats a, const RoundStats& b) noexcept {
+    a += b;
+    return a;
+  }
+
+  friend bool operator==(const RoundStats&, const RoundStats&) = default;
+};
+
+/// "rounds=74 messages=4.2e+08 updates=1.1e+07 work=4.3e+08" — for logs.
+[[nodiscard]] std::string to_string(const RoundStats& s);
+
+}  // namespace gdiam::mr

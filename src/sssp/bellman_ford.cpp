@@ -1,0 +1,58 @@
+#include "sssp/bellman_ford.hpp"
+
+#include "util/bitpack.hpp"
+#include "util/parallel.hpp"
+
+namespace gdiam::sssp {
+
+BellmanFordResult bellman_ford(const Graph& g, NodeId source) {
+  const NodeId n = g.num_nodes();
+  BellmanFordResult out;
+  std::vector<std::uint64_t> dist_bits(n, util::kInfDoubleBits);
+  dist_bits[source] = util::double_order_bits(0.0);
+
+  std::vector<NodeId> frontier{source};
+  util::ThreadBuffers<NodeId> next;
+  std::vector<std::uint8_t> in_next(n, 0);
+
+  while (!frontier.empty()) {
+    out.stats.relaxation_rounds++;
+    std::uint64_t messages = 0, updates = 0;
+#pragma omp parallel for schedule(dynamic, 256) \
+    reduction(+ : messages, updates)
+    for (std::size_t f = 0; f < frontier.size(); ++f) {
+      const NodeId u = frontier[f];
+      const Weight du = util::double_from_order_bits(
+          std::atomic_ref<std::uint64_t>(dist_bits[u])
+              .load(std::memory_order_relaxed));
+      const auto nbr = g.neighbors(u);
+      const auto wts = g.weights(u);
+      for (std::size_t i = 0; i < nbr.size(); ++i) {
+        const NodeId v = nbr[i];
+        const std::uint64_t nd = util::double_order_bits(du + wts[i]);
+        ++messages;
+        if (util::atomic_fetch_min(dist_bits[v], nd)) {
+          ++updates;
+          std::atomic_ref<std::uint8_t> flag(in_next[v]);
+          if (flag.exchange(1, std::memory_order_relaxed) == 0) {
+            next.local().push_back(v);
+          }
+        }
+      }
+    }
+    out.stats.messages += messages;
+    out.stats.node_updates += updates;
+    frontier = next.gather();
+    for (const NodeId v : frontier) in_next[v] = 0;
+  }
+
+  out.phases = out.stats.relaxation_rounds;
+  out.dist.resize(n);
+#pragma omp parallel for schedule(static)
+  for (NodeId u = 0; u < n; ++u) {
+    out.dist[u] = util::double_from_order_bits(dist_bits[u]);
+  }
+  return out;
+}
+
+}  // namespace gdiam::sssp

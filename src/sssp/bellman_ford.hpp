@@ -1,0 +1,27 @@
+#pragma once
+// Synchronous parallel Bellman–Ford.
+//
+// The round-greedy extreme of the Δ-stepping tradeoff (Δ = ∞): every phase
+// relaxes all edges out of the active frontier. Serves as a second reference
+// implementation for property tests and as the work-vs-rounds extreme in the
+// ablation benches.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mr/stats.hpp"
+
+namespace gdiam::sssp {
+
+struct BellmanFordResult {
+  std::vector<Weight> dist;
+  mr::RoundStats stats;
+  /// Number of synchronous phases executed (== stats.relaxation_rounds).
+  std::uint64_t phases = 0;
+};
+
+/// Frontier-driven synchronous Bellman–Ford from `source`.
+/// Deterministic (atomic min-reduction on packed double bits).
+[[nodiscard]] BellmanFordResult bellman_ford(const Graph& g, NodeId source);
+
+}  // namespace gdiam::sssp

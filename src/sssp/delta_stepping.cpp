@@ -1,0 +1,209 @@
+#include "sssp/delta_stepping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/bitpack.hpp"
+#include "util/parallel.hpp"
+
+namespace gdiam::sssp {
+
+namespace {
+
+/// Cyclic bucket array. At any time all queued nodes live in absolute
+/// bucket indices [current, current + span), with span bounded by
+/// ceil(max_weight / Δ) + 2, so `size >= span + 1` guarantees one absolute
+/// index per slot.
+class Buckets {
+ public:
+  Buckets(std::size_t slots, NodeId n)
+      : slots_(slots), queued_bucket_(n, kNoBucket) {}
+
+  static constexpr std::uint64_t kNoBucket = ~0ULL;
+
+  void push(NodeId v, std::uint64_t abs_index) {
+    if (queued_bucket_[v] == abs_index) return;  // already queued there
+    queued_bucket_[v] = abs_index;
+    slots_[abs_index % slots_.size()].push_back(v);
+    ++queued_;
+    max_abs_ = std::max(max_abs_, abs_index);
+  }
+
+  /// Drains slot for `abs_index`; caller filters stale entries.
+  std::vector<NodeId> drain(std::uint64_t abs_index) {
+    auto& slot = slots_[abs_index % slots_.size()];
+    std::vector<NodeId> out;
+    out.swap(slot);
+    queued_ -= out.size();
+    return out;
+  }
+
+  [[nodiscard]] bool slot_empty(std::uint64_t abs_index) const noexcept {
+    return slots_[abs_index % slots_.size()].empty();
+  }
+
+  [[nodiscard]] std::uint64_t queued() const noexcept { return queued_; }
+  [[nodiscard]] std::uint64_t max_abs() const noexcept { return max_abs_; }
+
+  /// Forget the queued marker so a node drained but still unsettled can be
+  /// re-queued into a later bucket.
+  void clear_marker(NodeId v) noexcept { queued_bucket_[v] = kNoBucket; }
+
+ private:
+  std::vector<std::vector<NodeId>> slots_;
+  std::vector<std::uint64_t> queued_bucket_;
+  std::uint64_t queued_ = 0;
+  std::uint64_t max_abs_ = 0;
+};
+
+enum class EdgeKind { kLight, kHeavy };
+
+}  // namespace
+
+DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
+                                   const DeltaSteppingOptions& opts) {
+  const NodeId n = g.num_nodes();
+  if (source >= n) throw std::out_of_range("delta_stepping: bad source");
+
+  DeltaSteppingResult out;
+  Weight delta = opts.delta > 0.0 ? opts.delta : g.avg_weight();
+  if (delta <= 0.0) delta = 1.0;  // edgeless graph: any value works
+  out.delta_used = delta;
+
+  std::vector<std::uint64_t> dist_bits(n, util::kInfDoubleBits);
+  dist_bits[source] = util::double_order_bits(0.0);
+  auto dist_of = [&](NodeId v) {
+    return util::double_from_order_bits(
+        std::atomic_ref<std::uint64_t>(dist_bits[v])
+            .load(std::memory_order_relaxed));
+  };
+  auto bucket_of = [&](Weight d) {
+    return static_cast<std::uint64_t>(d / delta);
+  };
+
+  const std::size_t span =
+      static_cast<std::size_t>(std::ceil(g.max_weight() / delta)) + 3;
+  Buckets buckets(span, n);
+  buckets.push(source, 0);
+
+  util::ThreadBuffers<NodeId> improved;
+  std::vector<std::uint8_t> in_improved(n, 0);
+
+  // Relax `kind` edges out of `frontier` (distance snapshots taken at phase
+  // start, so the phase is one synchronous round and all counters are
+  // independent of thread interleaving); returns the distinct nodes whose
+  // tentative distance improved.
+  auto relax = [&](const std::vector<std::pair<NodeId, Weight>>& frontier,
+                   EdgeKind kind) {
+    out.stats.relaxation_rounds++;
+    std::uint64_t messages = 0, updates = 0;
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : messages, updates)
+    for (std::size_t f = 0; f < frontier.size(); ++f) {
+      const auto [u, du] = frontier[f];
+      const auto nbr = g.neighbors(u);
+      const auto wts = g.weights(u);
+      for (std::size_t i = 0; i < nbr.size(); ++i) {
+        const Weight w = wts[i];
+        if ((kind == EdgeKind::kLight) != (w <= delta)) continue;
+        ++messages;
+        const std::uint64_t nd = util::double_order_bits(du + w);
+        if (util::atomic_fetch_min(dist_bits[nbr[i]], nd)) {
+          // Count each improved node once per phase (first winner only).
+          std::atomic_ref<std::uint8_t> flag(in_improved[nbr[i]]);
+          if (flag.exchange(1, std::memory_order_relaxed) == 0) {
+            ++updates;
+            improved.local().push_back(nbr[i]);
+          }
+        }
+      }
+    }
+    out.stats.messages += messages;
+    out.stats.node_updates += updates;
+    auto changed = improved.gather();
+    for (const NodeId v : changed) in_improved[v] = 0;
+    return changed;
+  };
+  auto snapshot = [&](const std::vector<NodeId>& nodes) {
+    std::vector<std::pair<NodeId, Weight>> snap;
+    snap.reserve(nodes.size());
+    for (const NodeId v : nodes) snap.emplace_back(v, dist_of(v));
+    return snap;
+  };
+
+  std::uint64_t cur = 0;
+  while (buckets.queued() > 0) {
+    // Bucket selection = one scan over bucket indices (one MR round).
+    out.stats.auxiliary_rounds++;
+    while (cur <= buckets.max_abs() && buckets.slot_empty(cur)) ++cur;
+    if (cur > buckets.max_abs()) break;  // defensive; queued()>0 should hold
+
+    std::vector<NodeId> settled;  // R in the paper: all nodes leaving bucket
+    std::uint64_t phases = 0;
+    while (!buckets.slot_empty(cur)) {
+      auto drained = buckets.drain(cur);
+      std::vector<NodeId> frontier;
+      frontier.reserve(drained.size());
+      for (const NodeId v : drained) {
+        buckets.clear_marker(v);
+        if (bucket_of(dist_of(v)) == cur) frontier.push_back(v);
+        // stale entries (node moved to an earlier bucket) are dropped
+      }
+      if (frontier.empty()) break;
+      settled.insert(settled.end(), frontier.begin(), frontier.end());
+
+      auto changed = relax(snapshot(frontier), EdgeKind::kLight);
+      for (const NodeId v : changed) {
+        const std::uint64_t b = bucket_of(dist_of(v));
+        if (b >= cur) buckets.push(v, b);
+      }
+      if (opts.max_phases_per_bucket != 0 &&
+          ++phases >= opts.max_phases_per_bucket) {
+        break;
+      }
+    }
+
+    if (!settled.empty()) {
+      // Deduplicate: a node may have been drained twice (re-entered cur).
+      std::sort(settled.begin(), settled.end());
+      settled.erase(std::unique(settled.begin(), settled.end()),
+                    settled.end());
+      auto changed = relax(snapshot(settled), EdgeKind::kHeavy);
+      for (const NodeId v : changed) {
+        buckets.push(v, bucket_of(dist_of(v)));
+      }
+    }
+    out.buckets_processed++;
+    // Advance only past an emptied bucket: when the per-bucket phase cap
+    // fired, the slot may still hold unsettled nodes that must be
+    // re-processed (skipping them would freeze non-final distances).
+    if (buckets.slot_empty(cur)) ++cur;
+  }
+
+  out.dist.resize(n);
+  Weight ecc = 0.0;
+  NodeId far = source;
+  for (NodeId u = 0; u < n; ++u) {
+    out.dist[u] = util::double_from_order_bits(dist_bits[u]);
+    if (out.dist[u] != kInfiniteWeight && out.dist[u] > ecc) {
+      ecc = out.dist[u];
+      far = u;
+    }
+  }
+  out.eccentricity = ecc;
+  out.farthest = far;
+  return out;
+}
+
+SsspDiameterApprox diameter_two_approx(const Graph& g, NodeId source,
+                                       const DeltaSteppingOptions& opts) {
+  const DeltaSteppingResult r = delta_stepping(g, source, opts);
+  SsspDiameterApprox out;
+  out.eccentricity = r.eccentricity;
+  out.upper_bound = 2.0 * r.eccentricity;
+  out.stats = r.stats;
+  out.delta_used = r.delta_used;
+  return out;
+}
+
+}  // namespace gdiam::sssp

@@ -1,0 +1,59 @@
+#pragma once
+// Δ-stepping SSSP (Meyer & Sanders, J. Algorithms 2003).
+//
+// The paper's baseline: the state-of-the-art practical parallel SSSP and the
+// only linear-space competitor for diameter approximation in the MapReduce
+// setting (2·ecc(source) is a 2-approximation of the diameter).
+//
+// Tentative distances live in buckets of width Δ. The smallest nonempty
+// bucket is repeatedly emptied with *light*-edge (w ≤ Δ) relaxation phases
+// until it stabilizes, then all nodes settled in it relax their *heavy*
+// edges once. Small Δ approaches Dijkstra (little work, many rounds); large
+// Δ approaches Bellman–Ford (few rounds, much work).
+//
+// MR accounting (mr/stats.hpp): each light/heavy relaxation phase counts as
+// one relaxation round, each bucket-selection scan as one auxiliary round;
+// messages = relaxation requests, node updates = accepted improvements.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mr/stats.hpp"
+
+namespace gdiam::sssp {
+
+struct DeltaSteppingOptions {
+  /// Bucket width; 0 selects the common heuristic Δ = avg edge weight.
+  Weight delta = 0.0;
+  /// Cap on light-phase iterations per bucket (safety valve; 0 = unlimited).
+  std::uint64_t max_phases_per_bucket = 0;
+};
+
+struct DeltaSteppingResult {
+  std::vector<Weight> dist;
+  mr::RoundStats stats;
+  NodeId farthest = kInvalidNode;  // reachable node with maximum distance
+  Weight eccentricity = 0.0;
+  Weight delta_used = 0.0;
+  std::uint64_t buckets_processed = 0;
+};
+
+/// Parallel Δ-stepping from `source`. Distances are exact (same relaxation
+/// fixpoint as Dijkstra); deterministic via atomic min-reduction.
+[[nodiscard]] DeltaSteppingResult delta_stepping(
+    const Graph& g, NodeId source, const DeltaSteppingOptions& opts = {});
+
+/// Diameter upper bound 2·ecc(source) plus the stats of the underlying run —
+/// the SSSP-based approximation the paper compares against.
+struct SsspDiameterApprox {
+  Weight upper_bound = 0.0;   // 2 * eccentricity
+  Weight eccentricity = 0.0;  // itself a lower bound on the diameter
+  mr::RoundStats stats;
+  Weight delta_used = 0.0;
+};
+
+[[nodiscard]] SsspDiameterApprox diameter_two_approx(
+    const Graph& g, NodeId source, const DeltaSteppingOptions& opts = {});
+
+}  // namespace gdiam::sssp

@@ -1,0 +1,79 @@
+#include "sssp/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace gdiam::sssp {
+
+namespace {
+
+/// Shared core; `parents` may be null.
+std::vector<Weight> run(const Graph& g, NodeId source,
+                        std::vector<NodeId>* parents, NodeId* farthest,
+                        Weight* ecc) {
+  const NodeId n = g.num_nodes();
+  std::vector<Weight> dist(n, kInfiniteWeight);
+  if (parents) parents->assign(n, kInvalidNode);
+
+  using Item = std::pair<Weight, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+
+  NodeId far = source;
+  Weight far_dist = 0.0;
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    if (d > far_dist) {
+      far_dist = d;
+      far = u;
+    }
+    const auto nbr = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      const NodeId v = nbr[i];
+      const Weight nd = d + wts[i];
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        if (parents) (*parents)[v] = u;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  if (farthest) *farthest = far;
+  if (ecc) *ecc = far_dist;
+  return dist;
+}
+
+}  // namespace
+
+SsspResult dijkstra(const Graph& g, NodeId source) {
+  SsspResult r;
+  r.dist = run(g, source, &r.parent, &r.farthest, &r.eccentricity);
+  return r;
+}
+
+std::vector<Weight> dijkstra_distances(const Graph& g, NodeId source) {
+  return run(g, source, nullptr, nullptr, nullptr);
+}
+
+Weight eccentricity(const Graph& g, NodeId source) {
+  Weight ecc = 0.0;
+  run(g, source, nullptr, nullptr, &ecc);
+  return ecc;
+}
+
+Weight exact_diameter(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  Weight diameter = 0.0;
+#pragma omp parallel for schedule(dynamic, 16) reduction(max : diameter)
+  for (NodeId u = 0; u < n; ++u) {
+    diameter = std::max(diameter, eccentricity(g, u));
+  }
+  return diameter;
+}
+
+}  // namespace gdiam::sssp

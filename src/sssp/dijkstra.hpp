@@ -1,0 +1,35 @@
+#pragma once
+// Sequential Dijkstra (binary heap).
+//
+// The exact-reference SSSP: used for ground-truth distances in tests, for
+// the iterated-sweep diameter lower bound (the paper's Table 2 caption), and
+// for exact diameters of small quotient graphs.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gdiam::sssp {
+
+struct SsspResult {
+  std::vector<Weight> dist;      // kInfiniteWeight for unreachable nodes
+  std::vector<NodeId> parent;    // kInvalidNode for source/unreachable
+  NodeId farthest = kInvalidNode;  // reachable node with maximum distance
+  Weight eccentricity = 0.0;       // max finite distance from the source
+};
+
+/// Exact single-source shortest paths from `source`.
+[[nodiscard]] SsspResult dijkstra(const Graph& g, NodeId source);
+
+/// Distances only (cheaper: skips parent bookkeeping).
+[[nodiscard]] std::vector<Weight> dijkstra_distances(const Graph& g,
+                                                     NodeId source);
+
+/// Exact eccentricity of `source` (max finite distance).
+[[nodiscard]] Weight eccentricity(const Graph& g, NodeId source);
+
+/// Exact weighted diameter by running Dijkstra from every node in parallel.
+/// Intended for small graphs (tests, quotient graphs): O(n * m log n).
+[[nodiscard]] Weight exact_diameter(const Graph& g);
+
+}  // namespace gdiam::sssp

@@ -1,0 +1,38 @@
+#include "sssp/sweep.hpp"
+
+#include <algorithm>
+
+#include "sssp/dijkstra.hpp"
+#include "util/rng.hpp"
+
+namespace gdiam::sssp {
+
+SweepResult diameter_lower_bound(const Graph& g, unsigned max_sweeps,
+                                 std::uint64_t seed, NodeId seed_node) {
+  SweepResult out;
+  const NodeId n = g.num_nodes();
+  if (n == 0 || max_sweeps == 0) return out;
+
+  NodeId source = seed_node;
+  if (source == kInvalidNode) {
+    util::Xoshiro256 rng(seed);
+    source = static_cast<NodeId>(rng.next_bounded(n));
+  }
+
+  for (unsigned s = 0; s < max_sweeps; ++s) {
+    // The farthest node of the previous sweep becomes the next source
+    // (paper's iterated-sweep heuristic).
+    if (std::find(out.sources.begin(), out.sources.end(), source) !=
+        out.sources.end()) {
+      break;  // cycle of farthest pairs: no further improvement possible
+    }
+    const SsspResult r = dijkstra(g, source);
+    out.sources.push_back(source);
+    out.eccentricities.push_back(r.eccentricity);
+    out.lower_bound = std::max(out.lower_bound, r.eccentricity);
+    source = r.farthest;
+  }
+  return out;
+}
+
+}  // namespace gdiam::sssp

@@ -1,0 +1,35 @@
+#pragma once
+// Iterated-sweep diameter lower bound.
+//
+// The paper's ground-truth methodology (Table 2 caption): "a lower bound to
+// the true diameter computed by running the sequential SSSP algorithm
+// multiple times, each time starting from the farthest node reached by the
+// previous run." On disconnected graphs sweeps stay within the start node's
+// component; callers analyzing the giant component should extract it first
+// (graph/components.hpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gdiam::sssp {
+
+struct SweepResult {
+  /// Best (largest) eccentricity found — a lower bound on the diameter.
+  Weight lower_bound = 0.0;
+  /// Sources visited, in order (first is the seed node).
+  std::vector<NodeId> sources;
+  /// Eccentricity measured from each source.
+  std::vector<Weight> eccentricities;
+};
+
+/// Runs up to `max_sweeps` Dijkstra sweeps starting from `seed_node`
+/// (kInvalidNode = pseudo-random node derived from `seed`). Stops early when
+/// the frontier node repeats (a 2-cycle of farthest pairs).
+[[nodiscard]] SweepResult diameter_lower_bound(const Graph& g,
+                                               unsigned max_sweeps,
+                                               std::uint64_t seed = 1,
+                                               NodeId seed_node = kInvalidNode);
+
+}  // namespace gdiam::sssp

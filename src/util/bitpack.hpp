@@ -1,0 +1,42 @@
+#pragma once
+// Order-preserving bit encodings of floating-point distances.
+//
+// The parallel relaxation kernels in gdiam resolve write conflicts with a
+// single atomic min on an unsigned integer. For that to implement "smallest
+// distance wins" the encoding must be monotone: d1 < d2 (as non-negative
+// floats) implies bits(d1) < bits(d2) (as unsigned integers). For IEEE-754
+// values that are non-negative (including +inf) the raw bit pattern already
+// has this property, which is all we need since distances are never negative.
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace gdiam::util {
+
+/// Monotone encoding of a non-negative float. +inf maps above every finite
+/// value; NaN must not be passed (debug-checked by callers).
+[[nodiscard]] constexpr std::uint32_t float_order_bits(float v) noexcept {
+  return std::bit_cast<std::uint32_t>(v);
+}
+
+[[nodiscard]] constexpr float float_from_order_bits(std::uint32_t b) noexcept {
+  return std::bit_cast<float>(b);
+}
+
+/// Monotone encoding of a non-negative double (for Δ-stepping's full-precision
+/// tentative distances).
+[[nodiscard]] constexpr std::uint64_t double_order_bits(double v) noexcept {
+  return std::bit_cast<std::uint64_t>(v);
+}
+
+[[nodiscard]] constexpr double double_from_order_bits(std::uint64_t b) noexcept {
+  return std::bit_cast<double>(b);
+}
+
+inline constexpr std::uint64_t kInfDoubleBits =
+    double_order_bits(std::numeric_limits<double>::infinity());
+inline constexpr std::uint32_t kInfFloatBits =
+    float_order_bits(std::numeric_limits<float>::infinity());
+
+}  // namespace gdiam::util

@@ -1,0 +1,47 @@
+#pragma once
+// Minimal command-line flag parsing for benches and examples.
+//
+// Supports `--name=value`, `--name value` and boolean `--name` forms; the
+// harness binaries use it so every experiment is re-runnable with tweaked
+// parameters without recompiling.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gdiam::util {
+
+class Options {
+ public:
+  Options() = default;
+
+  /// Parses argv; throws std::invalid_argument on malformed flags.
+  Options(int argc, const char* const* argv);
+
+  /// True when the flag was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// For tests: inject a flag programmatically.
+  void set(const std::string& name, std::string value);
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gdiam::util

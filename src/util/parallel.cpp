@@ -1,0 +1,13 @@
+#include "util/parallel.hpp"
+
+namespace gdiam::util {
+
+int num_threads() noexcept { return omp_get_max_threads(); }
+
+int set_num_threads(int t) noexcept {
+  const int prev = omp_get_max_threads();
+  if (t > 0) omp_set_num_threads(t);
+  return prev;
+}
+
+}  // namespace gdiam::util

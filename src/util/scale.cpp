@@ -1,0 +1,31 @@
+#include "util/scale.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gdiam::util {
+
+Scale parse_scale(const std::string& name) {
+  if (name == "ci") return Scale::kCi;
+  if (name == "small") return Scale::kSmall;
+  if (name == "paper") return Scale::kPaper;
+  throw std::invalid_argument("unknown scale '" + name +
+                              "' (expected ci|small|paper)");
+}
+
+const char* scale_name(Scale s) noexcept {
+  switch (s) {
+    case Scale::kSmall: return "small";
+    case Scale::kPaper: return "paper";
+    case Scale::kCi:
+    default: return "ci";
+  }
+}
+
+Scale scale_from_env() {
+  const char* env = std::getenv("GDIAM_SCALE");
+  if (env == nullptr || *env == '\0') return Scale::kCi;
+  return parse_scale(env);
+}
+
+}  // namespace gdiam::util

@@ -1,0 +1,38 @@
+#pragma once
+// Experiment scale presets.
+//
+// The paper runs on a 16-node cluster with billion-edge graphs; this repo's
+// CI box is far smaller, so every bench supports three presets that keep the
+// paper's *relative* comparisons intact (see DESIGN.md §2):
+//   ci    — seconds per experiment (default)
+//   small — tens of seconds, closer topology sizes
+//   paper — the paper's parameters where feasible (may take hours)
+// Selected with the GDIAM_SCALE environment variable or a --scale flag.
+
+#include <cstdint>
+#include <string>
+
+namespace gdiam::util {
+
+enum class Scale { kCi, kSmall, kPaper };
+
+/// Parses "ci" / "small" / "paper" (throws std::invalid_argument otherwise).
+[[nodiscard]] Scale parse_scale(const std::string& name);
+
+[[nodiscard]] const char* scale_name(Scale s) noexcept;
+
+/// Reads GDIAM_SCALE from the environment; defaults to Scale::kCi.
+[[nodiscard]] Scale scale_from_env();
+
+/// Picks the preset value for the current scale.
+template <typename T>
+[[nodiscard]] constexpr T pick(Scale s, T ci, T small, T paper) noexcept {
+  switch (s) {
+    case Scale::kSmall: return small;
+    case Scale::kPaper: return paper;
+    case Scale::kCi:
+    default: return ci;
+  }
+}
+
+}  // namespace gdiam::util

@@ -1,0 +1,50 @@
+#pragma once
+// Aligned-column table printing for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables/figures and prints
+// it in this format so EXPERIMENTS.md can quote the output verbatim.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gdiam::util {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; fill it with cell()/num() calls.
+  Table& row();
+
+  Table& cell(std::string value);
+  Table& cell(const char* value);
+
+  /// Fixed-precision floating point cell.
+  Table& num(double value, int precision = 2);
+
+  /// Scientific-notation cell (used for the paper's "work" columns).
+  Table& sci(double value, int precision = 2);
+
+  /// Integral cell with thousands separators (e.g. 1,468,365,182).
+  Table& count(std::uint64_t value);
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+  /// Cell accessors for tests.
+  [[nodiscard]] const std::string& at(std::size_t r, std::size_t c) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// 1,234,567-style formatting.
+[[nodiscard]] std::string with_thousands(std::uint64_t value);
+
+}  // namespace gdiam::util

@@ -1,0 +1,19 @@
+#include "util/timer.hpp"
+
+#include <cstdio>
+
+namespace gdiam::util {
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.1f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace gdiam::util

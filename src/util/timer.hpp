@@ -1,0 +1,31 @@
+#pragma once
+// Wall-clock timing for benches and examples.
+
+#include <chrono>
+#include <string>
+
+namespace gdiam::util {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration like "1.24 s" / "380 ms" / "42 µs" for human output.
+[[nodiscard]] std::string format_duration(double seconds);
+
+}  // namespace gdiam::util

@@ -1,0 +1,196 @@
+// Tests for src/analysis: BFS hop metrics, ℓ_Δ estimation, the doubling
+// dimension probe, and the greedy k-center baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/hop.hpp"
+#include "analysis/metrics.hpp"
+#include "gen/basic.hpp"
+#include "gen/mesh.hpp"
+#include "gen/weights.hpp"
+#include "graph/builder.hpp"
+#include "sssp/dijkstra.hpp"
+#include "test_helpers.hpp"
+
+namespace gdiam::analysis {
+namespace {
+
+using test::Family;
+
+TEST(BfsHops, MatchesUnitWeightDijkstra) {
+  for (const Family f : test::all_families()) {
+    const Graph g = gen::unit_weights(test::make_family(f, 120, 3));
+    const auto hops = bfs_hops(g, 0);
+    const auto dist = sssp::dijkstra_distances(g, 0);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (dist[u] == kInfiniteWeight) {
+        EXPECT_EQ(hops[u], kUnreachableHops);
+      } else {
+        EXPECT_EQ(static_cast<double>(hops[u]), dist[u])
+            << test::family_name(f) << " node " << u;
+      }
+    }
+  }
+}
+
+TEST(BfsHops, WeightsAreIgnored) {
+  // Heavy weights do not change hop counts.
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1000.0);
+  b.add_edge(1, 2, 0.001);
+  const auto hops = bfs_hops(b.build(), 0);
+  EXPECT_EQ(hops[1], 1u);
+  EXPECT_EQ(hops[2], 2u);
+}
+
+TEST(BfsHops, UnreachableAndBadSource) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1.0);
+  const Graph g = b.build();
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops[2], kUnreachableHops);
+  const auto none = bfs_hops(g, 99);
+  for (const auto h : none) EXPECT_EQ(h, kUnreachableHops);
+}
+
+TEST(HopEccentricity, KnownValues) {
+  EXPECT_EQ(hop_eccentricity(gen::path(10), 0), 9u);
+  EXPECT_EQ(hop_eccentricity(gen::path(10), 5), 5u);
+  EXPECT_EQ(hop_eccentricity(gen::star(8), 0), 1u);
+  EXPECT_EQ(hop_eccentricity(gen::star(8), 3), 2u);
+}
+
+TEST(HopDiameter, ExactOnKnownGraphs) {
+  EXPECT_EQ(exact_hop_diameter(gen::path(17)), 16u);
+  EXPECT_EQ(exact_hop_diameter(gen::cycle(10)), 5u);
+  EXPECT_EQ(exact_hop_diameter(gen::mesh(6)), 10u);
+  EXPECT_EQ(exact_hop_diameter(gen::complete(5)), 1u);
+}
+
+TEST(HopDiameter, LowerBoundNeverExceedsExact) {
+  for (const Family f : test::all_families()) {
+    const Graph g = test::make_family(f, 80, 7);
+    EXPECT_LE(hop_diameter_lower_bound(g, 6, 7), exact_hop_diameter(g))
+        << test::family_name(f);
+  }
+}
+
+TEST(HopDiameter, SweepFindsPathDiameter) {
+  EXPECT_EQ(hop_diameter_lower_bound(gen::path(200), 3, 11), 199u);
+}
+
+TEST(EstimateEll, UnitPathEllEqualsFloorDelta) {
+  // On a unit-weight path, pairs at distance ≤ Δ need exactly ⌊Δ⌋ edges.
+  const Graph g = gen::path(50);
+  EXPECT_EQ(estimate_ell(g, 5.0, /*samples=*/50, 1), 5u);
+  EXPECT_EQ(estimate_ell(g, 12.9, 50, 1), 12u);
+}
+
+TEST(EstimateEll, MonotoneInDelta) {
+  const Graph g = test::make_family(Family::kMeshUniform, 200, 13);
+  const auto a = estimate_ell(g, 1.0, 8, 3);
+  const auto b = estimate_ell(g, 4.0, 8, 3);
+  EXPECT_LE(a, b);
+}
+
+TEST(EstimateEll, LightEdgePreferenceInflatesEll) {
+  // Bimodal weights: shortest paths chain many tiny edges, so ℓ_Δ is much
+  // larger than Δ / avg_weight suggests — the skew regime of Section 4.
+  const Graph uniform_mesh = gen::unit_weights(gen::mesh(16));
+  const Graph bimodal_mesh = gen::bimodal_weights(gen::mesh(16), 1.0, 1e-6,
+                                                  0.1, 17);
+  const auto ell_unit = estimate_ell(uniform_mesh, 2.0, 16, 3);
+  const auto ell_bimodal = estimate_ell(bimodal_mesh, 2.0, 16, 3);
+  EXPECT_GT(ell_bimodal, 4u * ell_unit);
+}
+
+TEST(EstimateEll, DegenerateInputs) {
+  EXPECT_EQ(estimate_ell(Graph{}, 1.0, 4), 0u);
+  EXPECT_EQ(estimate_ell(gen::path(5), 1.0, 0), 0u);
+}
+
+TEST(DoublingDimension, MeshIsLowDimensional) {
+  const DoublingEstimate e =
+      estimate_doubling_dimension(gen::mesh(24), 3, 4, 5);
+  EXPECT_GT(e.balls_probed, 0u);
+  // Theory: b = 2; the greedy cover probe overestimates by a small constant.
+  EXPECT_LE(e.dimension, 4u);
+  EXPECT_GE(e.dimension, 1u);
+}
+
+TEST(DoublingDimension, StarIsHighDimensional) {
+  // A star's 2-ball (around any node) is the whole graph, while 1-balls
+  // around leaves only cover the leaf and the hub: the greedy cover needs
+  // ~n balls and the probe must report a large dimension.
+  const DoublingEstimate star =
+      estimate_doubling_dimension(gen::star(600), 4, 2, 7);
+  const DoublingEstimate mesh_e =
+      estimate_doubling_dimension(gen::mesh(24), 4, 2, 7);
+  EXPECT_GT(star.dimension, 2u * mesh_e.dimension);
+}
+
+TEST(DoublingDimension, DegenerateInputs) {
+  EXPECT_EQ(estimate_doubling_dimension(Graph{}, 3, 4).dimension, 0u);
+  EXPECT_EQ(estimate_doubling_dimension(gen::path(5), 0, 4).dimension, 0u);
+}
+
+TEST(GreedyKCenter, StructuralInvariants) {
+  const Graph g = test::make_family(Family::kGnmUniform, 150, 3);
+  const KCenterResult r = greedy_k_center(g, 10, 3);
+  ASSERT_EQ(r.centers.size(), 10u);
+  std::set<NodeId> distinct(r.centers.begin(), r.centers.end());
+  EXPECT_EQ(distinct.size(), 10u);
+  // Every node assigned to a center at its recorded distance; radius = max.
+  Weight max_d = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_NE(r.assignment[u], kInvalidNode);
+    max_d = std::max(max_d, r.distance[u]);
+  }
+  EXPECT_DOUBLE_EQ(r.radius, max_d);
+  // Centers have distance 0 to themselves.
+  for (const NodeId c : r.centers) EXPECT_DOUBLE_EQ(r.distance[c], 0.0);
+}
+
+TEST(GreedyKCenter, RadiusNonIncreasingInK) {
+  const Graph g = test::make_family(Family::kMeshUniform, 400, 9);
+  Weight prev = kInfiniteWeight;
+  for (const NodeId k : {1u, 4u, 16u, 64u}) {
+    const Weight r = greedy_k_center(g, k, 3).radius;
+    EXPECT_LE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(GreedyKCenter, AllNodesAsCentersGivesZeroRadius) {
+  const Graph g = gen::path(20);
+  EXPECT_DOUBLE_EQ(greedy_k_center(g, 20, 1).radius, 0.0);
+  EXPECT_DOUBLE_EQ(greedy_k_center(g, 100, 1).radius, 0.0);  // k clamped
+}
+
+TEST(GreedyKCenter, TwoApproxOnPath) {
+  // On a unit path of 100 nodes, the optimal 2-center radius is 25 (split
+  // in half, centers in the middle of each half). Greedy is within 2x.
+  const KCenterResult r = greedy_k_center(gen::path(100), 2, 5);
+  EXPECT_LE(r.radius, 50.0);
+  EXPECT_GE(r.radius, 25.0 - 1e-9);
+}
+
+TEST(GreedyKCenter, CoversDisconnectedComponentsFirst) {
+  GraphBuilder b(20);
+  for (NodeId u = 0; u + 1 < 10; ++u) b.add_edge(u, u + 1, 1.0);
+  for (NodeId u = 10; u + 1 < 20; ++u) b.add_edge(u, u + 1, 1.0);
+  const KCenterResult r = greedy_k_center(b.build(), 2, 3);
+  // One center per component (the second pick is the unreached component).
+  EXPECT_NE(r.centers[0] < 10, r.centers[1] < 10);
+  EXPECT_LT(r.radius, kInfiniteWeight);
+}
+
+TEST(GreedyKCenter, InvalidKThrows) {
+  EXPECT_THROW((void)greedy_k_center(gen::path(4), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gdiam::analysis

@@ -1,0 +1,100 @@
+// Tests for graph/components.hpp: parallel connected components and
+// largest-component extraction.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/basic.hpp"
+#include "gen/mesh.hpp"
+#include "graph/builder.hpp"
+#include "graph/components.hpp"
+#include "test_helpers.hpp"
+
+namespace gdiam {
+namespace {
+
+TEST(Components, SingleComponentPath) {
+  const Components cc = connected_components(gen::path(100));
+  EXPECT_EQ(cc.count, 1u);
+  EXPECT_EQ(cc.sizes[0], 100u);
+  for (const NodeId c : cc.component_of) EXPECT_EQ(c, 0u);
+}
+
+TEST(Components, DisjointPathsSeparated) {
+  // Two paths: 0-1-2 and 3-4, plus isolated node 5.
+  GraphBuilder b(6);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(3, 4, 1.0);
+  const Components cc = connected_components(b.build());
+  EXPECT_EQ(cc.count, 3u);
+  // Largest first.
+  EXPECT_EQ(cc.sizes[0], 3u);
+  EXPECT_EQ(cc.sizes[1], 2u);
+  EXPECT_EQ(cc.sizes[2], 1u);
+  EXPECT_EQ(cc.component_of[0], cc.component_of[2]);
+  EXPECT_EQ(cc.component_of[3], cc.component_of[4]);
+  EXPECT_NE(cc.component_of[0], cc.component_of[3]);
+  EXPECT_EQ(cc.component_of[5], 2u);
+}
+
+TEST(Components, SizesSumToN) {
+  const Graph g = test::make_family(test::Family::kRmatGiant, 256, 5);
+  const Components cc = connected_components(g);
+  const NodeId total = std::accumulate(cc.sizes.begin(), cc.sizes.end(), 0u);
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+TEST(Components, EmptyGraph) {
+  const Components cc = connected_components(Graph{});
+  EXPECT_EQ(cc.count, 0u);
+}
+
+TEST(Components, EdgelessGraphAllSingletons) {
+  const Components cc = connected_components(build_graph(7, {}));
+  EXPECT_EQ(cc.count, 7u);
+  for (const NodeId s : cc.sizes) EXPECT_EQ(s, 1u);
+}
+
+TEST(Components, ComponentIdsAreCompact) {
+  GraphBuilder b(10);
+  b.add_edge(8, 9, 1.0);
+  const Components cc = connected_components(b.build());
+  for (const NodeId c : cc.component_of) EXPECT_LT(c, cc.count);
+}
+
+TEST(LargestComponent, ExtractsGiant) {
+  GraphBuilder b(10);
+  // Component A: 0..5 as a cycle (6 nodes); component B: 6..9 path.
+  for (NodeId u = 0; u < 5; ++u) b.add_edge(u, u + 1, 1.0);
+  b.add_edge(5, 0, 1.0);
+  for (NodeId u = 6; u < 9; ++u) b.add_edge(u, u + 1, 2.0);
+  const Subgraph s = largest_component(b.build());
+  EXPECT_EQ(s.graph.num_nodes(), 6u);
+  EXPECT_EQ(s.graph.num_edges(), 6u);
+  for (const NodeId orig : s.to_original) EXPECT_LT(orig, 6u);
+}
+
+TEST(LargestComponent, ConnectedGraphReturnsEverything) {
+  const Graph g = gen::mesh(8);
+  const Subgraph s = largest_component(g);
+  EXPECT_EQ(s.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(s.graph.num_edges(), g.num_edges());
+}
+
+TEST(IsConnected, DetectsBothCases) {
+  EXPECT_TRUE(is_connected(gen::cycle(50)));
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(2, 3, 1.0);
+  EXPECT_FALSE(is_connected(b.build()));
+}
+
+TEST(IsConnected, MeshAndTorus) {
+  EXPECT_TRUE(is_connected(gen::mesh(12)));
+  EXPECT_TRUE(is_connected(gen::torus(7)));
+}
+
+}  // namespace
+}  // namespace gdiam

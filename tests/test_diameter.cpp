@@ -1,0 +1,169 @@
+// End-to-end tests for core/diameter.hpp — CL-DIAM: conservativeness against
+// exact diameters, approximation quality on structured graphs, CLUSTER2
+// variant, determinism, stats, and degenerate inputs.
+
+#include <gtest/gtest.h>
+
+#include "core/diameter.hpp"
+#include "gen/basic.hpp"
+#include "gen/mesh.hpp"
+#include "gen/product.hpp"
+#include "gen/weights.hpp"
+#include "graph/builder.hpp"
+#include "sssp/dijkstra.hpp"
+#include "sssp/sweep.hpp"
+#include "test_helpers.hpp"
+
+namespace gdiam::core {
+namespace {
+
+using test::Family;
+
+DiameterApproxOptions opts_with_tau(std::uint32_t tau, std::uint64_t seed = 1) {
+  DiameterApproxOptions o;
+  o.cluster.tau = tau;
+  o.cluster.seed = seed;
+  o.quotient.exact_threshold = 100000;  // always exact in tests
+  return o;
+}
+
+TEST(ClDiam, EmptyGraph) {
+  const DiameterApproxResult r = approximate_diameter(Graph{}, opts_with_tau(2));
+  EXPECT_DOUBLE_EQ(r.estimate, 0.0);
+}
+
+TEST(ClDiam, SingleNodeAndSingleEdge) {
+  EXPECT_DOUBLE_EQ(
+      approximate_diameter(build_graph(1, {}), opts_with_tau(1)).estimate, 0.0);
+  const DiameterApproxResult r = approximate_diameter(
+      build_graph(2, {Edge{0, 1, 4.0}}), opts_with_tau(1));
+  EXPECT_GE(r.estimate * (1.0 + 1e-9), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Conservativeness + bounded ratio across families, τ and seeds.
+
+class ClDiamProperty
+    : public testing::TestWithParam<
+          std::tuple<Family, std::uint32_t, std::uint64_t>> {};
+
+TEST_P(ClDiamProperty, ConservativeAndWithinSaneRatio) {
+  const auto [family, tau, seed] = GetParam();
+  const Graph g = test::make_family(family, 120, seed);
+  const Weight diam = test::brute_force_diameter(g);
+  const DiameterApproxResult r =
+      approximate_diameter(g, opts_with_tau(tau, seed));
+
+  ASSERT_TRUE(r.quotient_exact);
+  EXPECT_GE(r.estimate * (1.0 + 1e-6), diam) << "not conservative";
+  // The paper observes ratios < 1.4 at scale; tiny graphs with few clusters
+  // are noisier, but a ratio beyond 4 would indicate a real defect.
+  EXPECT_LE(r.estimate, 4.0 * diam + 1e-9)
+      << test::family_name(family) << " tau=" << tau;
+  EXPECT_DOUBLE_EQ(r.estimate_classic, r.quotient_diam + 2.0 * r.radius);
+  // The radius-aware default is never worse than the paper's formula.
+  EXPECT_LE(r.estimate, r.estimate_classic * (1.0 + 1e-12));
+  EXPECT_EQ(r.num_clusters, r.clustering.num_clusters());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClDiamProperty,
+    testing::Combine(testing::ValuesIn(test::all_families()),
+                     testing::Values(2u, 8u), testing::Values(5u, 17u)),
+    [](const auto& param_info) {
+      return std::string(test::family_name(std::get<0>(param_info.param))) +
+             "_t" + std::to_string(std::get<1>(param_info.param)) + "_s" +
+             std::to_string(std::get<2>(param_info.param));
+    });
+
+TEST(ClDiam, GoodRatioOnLargeUnitMesh) {
+  // Large structured instance: the regime where the paper reports ratio
+  // ≤ 1.23 on mesh. Allow 1.6 for the much smaller test size.
+  const Graph g = gen::mesh(48);
+  const Weight diam = 2.0 * 47.0;
+  const DiameterApproxResult r = approximate_diameter(g, opts_with_tau(4, 3));
+  ASSERT_TRUE(r.quotient_exact);
+  EXPECT_GE(r.estimate * (1.0 + 1e-9), diam);
+  EXPECT_LE(r.estimate / diam, 1.6) << "ratio " << r.estimate / diam;
+}
+
+TEST(ClDiam, GoodRatioOnLongPath) {
+  const Graph g = gen::path(2000);
+  const DiameterApproxResult r = approximate_diameter(g, opts_with_tau(2, 7));
+  ASSERT_TRUE(r.quotient_exact);
+  const double ratio = r.estimate / 1999.0;
+  EXPECT_GE(ratio, 1.0 - 1e-9);
+  EXPECT_LE(ratio, 1.6) << "ratio " << ratio;
+}
+
+TEST(ClDiam, Cluster2VariantAlsoConservative) {
+  for (const Family f : {Family::kGnmUniform, Family::kMeshUniform}) {
+    const Graph g = test::make_family(f, 100, 11);
+    const Weight diam = test::brute_force_diameter(g);
+    DiameterApproxOptions o = opts_with_tau(2, 11);
+    o.use_cluster2 = true;
+    const DiameterApproxResult r = approximate_diameter(g, o);
+    ASSERT_TRUE(r.quotient_exact);
+    EXPECT_GE(r.estimate * (1.0 + 1e-6), diam) << test::family_name(f);
+  }
+}
+
+TEST(ClDiam, DeterministicForFixedSeed) {
+  const Graph g = test::make_family(Family::kRmatGiant, 300, 13);
+  const DiameterApproxResult a = approximate_diameter(g, opts_with_tau(4, 99));
+  const DiameterApproxResult b = approximate_diameter(g, opts_with_tau(4, 99));
+  EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+}
+
+TEST(ClDiam, WorksOnDisconnectedGraphs) {
+  GraphBuilder b(80);
+  for (NodeId u = 0; u + 1 < 50; ++u) b.add_edge(u, u + 1, 1.0);  // diam 49
+  for (NodeId u = 50; u + 1 < 80; ++u) b.add_edge(u, u + 1, 1.0);  // diam 29
+  const Graph g = b.build();
+  const DiameterApproxResult r = approximate_diameter(g, opts_with_tau(1, 3));
+  ASSERT_TRUE(r.quotient_exact);
+  EXPECT_GE(r.estimate * (1.0 + 1e-9), 49.0);
+}
+
+TEST(ClDiam, StatsCoverWholePipeline) {
+  const Graph g = test::make_family(Family::kMeshUniform, 400, 17);
+  const DiameterApproxResult r = approximate_diameter(g, opts_with_tau(2, 5));
+  EXPECT_GT(r.stats.relaxation_rounds, 0u);
+  // Pipeline adds quotient construction + diameter rounds on top of the
+  // clustering's own auxiliary rounds.
+  EXPECT_GE(r.stats.auxiliary_rounds, r.clustering.stats.auxiliary_rounds + 2);
+  EXPECT_GT(r.quotient_edges, 0u);
+}
+
+TEST(ClDiam, EstimateAtLeastSweepLowerBound) {
+  // Cross-check the two estimators against each other on a bigger graph
+  // where brute force is infeasible: upper bound ≥ lower bound, and the two
+  // should be within the paper's observed ratio band.
+  const Graph g = gen::uniform_weights(gen::mesh(60), 23);
+  const Weight lb = sssp::diameter_lower_bound(g, 8, 23).lower_bound;
+  const DiameterApproxResult r = approximate_diameter(g, opts_with_tau(4, 23));
+  ASSERT_TRUE(r.quotient_exact);
+  EXPECT_GE(r.estimate * (1.0 + 1e-9), lb);
+  EXPECT_LE(r.estimate / lb, 2.0);
+}
+
+TEST(ClDiam, ProductGraphDiameterAdds) {
+  // roads(S)-style: path □ cycle has diameter = sum of factor diameters.
+  const Graph g = gen::cartesian_product(gen::path(40), gen::cycle(21));
+  const Weight diam = 39.0 + 10.0;
+  const DiameterApproxResult r = approximate_diameter(g, opts_with_tau(2, 29));
+  ASSERT_TRUE(r.quotient_exact);
+  EXPECT_GE(r.estimate * (1.0 + 1e-9), diam);
+  EXPECT_LE(r.estimate / diam, 2.0);
+}
+
+TEST(ClDiam, QuotientSmallerThanGraph) {
+  const Graph g = test::make_family(Family::kMeshUniform, 2500, 31);
+  const DiameterApproxResult r = approximate_diameter(g, opts_with_tau(2, 7));
+  EXPECT_LT(r.num_clusters, g.num_nodes() / 2);
+}
+
+}  // namespace
+}  // namespace gdiam::core

@@ -1,0 +1,273 @@
+// Tests for the graph generators: structural counts, known diameters,
+// degree shapes, weight distributions, determinism.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/basic.hpp"
+#include "gen/mesh.hpp"
+#include "gen/product.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road.hpp"
+#include "gen/weights.hpp"
+#include "graph/components.hpp"
+#include "graph/ops.hpp"
+#include "sssp/dijkstra.hpp"
+#include "test_helpers.hpp"
+
+namespace gdiam::gen {
+namespace {
+
+TEST(Basic, PathCounts) {
+  const Graph g = path(10);
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_DOUBLE_EQ(sssp::exact_diameter(g), 9.0);
+}
+
+TEST(Basic, CycleCounts) {
+  const Graph g = cycle(11);
+  EXPECT_EQ(g.num_edges(), 11u);
+  EXPECT_DOUBLE_EQ(sssp::exact_diameter(g), 5.0);
+}
+
+TEST(Basic, StarDiameterTwo) {
+  const Graph g = star(9);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(g.degree(0), 8u);
+  EXPECT_DOUBLE_EQ(sssp::exact_diameter(g), 2.0);
+}
+
+TEST(Basic, CompleteGraph) {
+  const Graph g = complete(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_DOUBLE_EQ(sssp::exact_diameter(g), 1.0);
+}
+
+TEST(Basic, BinaryTreeStructure) {
+  const Graph g = binary_tree(15);  // perfect tree of depth 3
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_DOUBLE_EQ(sssp::exact_diameter(g), 6.0);  // leaf to leaf
+}
+
+TEST(Basic, RandomTreeIsTree) {
+  util::Xoshiro256 rng(3);
+  const Graph g = random_tree(200, rng);
+  EXPECT_EQ(g.num_edges(), 199u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Basic, GnmEdgeCountAndRange) {
+  util::Xoshiro256 rng(5);
+  const Graph g = gnm(100, 300, rng);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 300u);
+}
+
+TEST(Basic, GnmEnsureConnected) {
+  util::Xoshiro256 rng(7);
+  const Graph g = gnm(200, 220, rng, /*ensure_connected=*/true);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GE(g.num_edges(), 220u);
+}
+
+TEST(Basic, GnmTooManyEdgesThrows) {
+  util::Xoshiro256 rng(7);
+  EXPECT_THROW((void)gnm(4, 7, rng), std::invalid_argument);
+}
+
+TEST(Mesh, CountsMatchFormulas) {
+  for (const NodeId s : {2u, 5u, 16u}) {
+    const Graph g = mesh(s);
+    EXPECT_EQ(g.num_nodes(), s * s);
+    EXPECT_EQ(g.num_edges(), static_cast<EdgeIndex>(2u * s * (s - 1)));
+  }
+}
+
+TEST(Mesh, UnweightedDiameterIsTwiceSideMinusOne) {
+  const Graph g = mesh(7);
+  EXPECT_DOUBLE_EQ(sssp::exact_diameter(g), 12.0);
+}
+
+TEST(Mesh, CornerAndInteriorDegrees) {
+  const Graph g = mesh(5);
+  EXPECT_EQ(g.degree(mesh_node(5, 0, 0)), 2u);
+  EXPECT_EQ(g.degree(mesh_node(5, 0, 2)), 3u);
+  EXPECT_EQ(g.degree(mesh_node(5, 2, 2)), 4u);
+}
+
+TEST(Torus, IsFourRegular) {
+  const Graph g = torus(6);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_EQ(g.degree(u), 4u);
+  EXPECT_DOUBLE_EQ(sssp::exact_diameter(g), 6.0);  // 2 * floor(6/2)
+}
+
+TEST(Torus, TooSmallThrows) {
+  EXPECT_THROW((void)torus(2), std::invalid_argument);
+}
+
+TEST(Rmat, NodeAndEdgeScale) {
+  util::Xoshiro256 rng(11);
+  const Graph g = rmat(10, 8, rng);
+  EXPECT_EQ(g.num_nodes(), 1024u);
+  // Duplicates and self-loops shrink m below the 8*2^10 samples, but most
+  // samples must survive at this density.
+  EXPECT_GT(g.num_edges(), 4000u);
+  EXPECT_LE(g.num_edges(), 8192u);
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  util::Xoshiro256 rng(13);
+  const Graph g = rmat(12, 8, rng);
+  const DegreeStats s = degree_stats(g);
+  // Power-law-ish: max degree far above average.
+  EXPECT_GT(static_cast<double>(s.max), 10.0 * s.avg);
+}
+
+TEST(Rmat, DeterministicForSeed) {
+  util::Xoshiro256 a(17), b(17);
+  const Graph g1 = rmat(8, 4, a);
+  const Graph g2 = rmat(8, 4, b);
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  EXPECT_EQ(g1.targets(), g2.targets());
+}
+
+TEST(Rmat, BadParamsThrow) {
+  util::Xoshiro256 rng(1);
+  EXPECT_THROW((void)rmat(0, 4, rng), std::invalid_argument);
+  RmatParams p;
+  p.a = 0.9;  // no longer sums to 1
+  EXPECT_THROW((void)rmat(4, 4, rng, p), std::invalid_argument);
+}
+
+TEST(Road, ConnectedWithIntegerWeights) {
+  util::Xoshiro256 rng(19);
+  const Graph g = road_network(40, 30, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GT(g.num_nodes(), 1000u);  // giant component covers ~all of 1200
+  for (const Weight w : g.edge_weights()) {
+    EXPECT_DOUBLE_EQ(w, std::round(w));
+    EXPECT_GE(w, 1.0);
+  }
+}
+
+TEST(Road, BoundedDegree) {
+  util::Xoshiro256 rng(23);
+  const Graph g = road_network(50, 50, rng);
+  EXPECT_LE(degree_stats(g).max, 8u);  // 4 street + diagonals
+}
+
+TEST(Road, LargeWeightedDiameterRegime) {
+  util::Xoshiro256 rng(29);
+  const Graph g = road_network(60, 60, rng);
+  // Weighted diameter ≈ side * spacing: far larger than any edge weight.
+  const Weight ecc = sssp::eccentricity(g, 0);
+  EXPECT_GT(ecc, 20.0 * g.max_weight());
+}
+
+TEST(Road, ApproxNodesOverloadAndValidation) {
+  util::Xoshiro256 rng(31);
+  const Graph g = road_network(900, rng);
+  EXPECT_GT(g.num_nodes(), 700u);
+  EXPECT_LE(g.num_nodes(), 900u);
+  EXPECT_THROW((void)road_network(1, 5, rng, RoadParams{}),
+               std::invalid_argument);
+}
+
+TEST(Product, PathTimesPathIsMesh) {
+  const Graph p1 = path(4), p2 = path(5);
+  const Graph prod = cartesian_product(p1, p2);
+  EXPECT_EQ(prod.num_nodes(), 20u);
+  // mesh(4x5) edge count: 4*(5-1) + 5*(4-1) = 31.
+  EXPECT_EQ(prod.num_edges(), 31u);
+  EXPECT_TRUE(is_connected(prod));
+}
+
+TEST(Product, DiameterIsSumOfFactorDiameters) {
+  const Graph a = cycle(7);   // diameter 3
+  const Graph b = path(6);    // diameter 5
+  const Graph prod = cartesian_product(a, b);
+  EXPECT_DOUBLE_EQ(sssp::exact_diameter(prod), 8.0);
+}
+
+TEST(Product, InheritsWeights) {
+  GraphBuilder ab(2);
+  ab.add_edge(0, 1, 5.0);
+  const Graph a = ab.build();
+  const Graph prod = cartesian_product(a, path(3));
+  // (0,0)-(1,0) inherits weight 5 from A; (0,0)-(0,1) weight 1 from B.
+  EXPECT_DOUBLE_EQ(edge_weight(prod, product_node(3, 0, 0),
+                               product_node(3, 1, 0)),
+                   5.0);
+  EXPECT_DOUBLE_EQ(edge_weight(prod, product_node(3, 0, 0),
+                               product_node(3, 0, 1)),
+                   1.0);
+}
+
+TEST(Product, RoadsProductShape) {
+  util::Xoshiro256 rng(37);
+  const Graph base = road_network(12, 12, rng);
+  const Graph g = roads_product(3, base);
+  EXPECT_EQ(g.num_nodes(), 3u * base.num_nodes());
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Weights, UniformInHalfOpenInterval) {
+  const Graph g = uniform_weights(mesh(12), 41);
+  for (const Weight w : g.edge_weights()) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 1.0);
+  }
+  // Mean near 0.5 over ~264 edges.
+  EXPECT_NEAR(g.avg_weight(), 0.5, 0.1);
+}
+
+TEST(Weights, UniformIndependentOfEdgeOrder) {
+  EXPECT_DOUBLE_EQ(edge_uniform_draw(99, 3, 8), edge_uniform_draw(99, 8, 3));
+  EXPECT_NE(edge_uniform_draw(99, 3, 8), edge_uniform_draw(100, 3, 8));
+}
+
+TEST(Weights, UniformIntRange) {
+  const Graph g = uniform_int_weights(mesh(10), 5, 9, 43);
+  for (const Weight w : g.edge_weights()) {
+    EXPECT_DOUBLE_EQ(w, std::round(w));
+    EXPECT_GE(w, 5.0);
+    EXPECT_LE(w, 9.0);
+  }
+}
+
+TEST(Weights, UniformIntZeroLowClampedToOne) {
+  const Graph g = uniform_int_weights(path(50), 0, 3, 47);
+  EXPECT_GE(g.min_weight(), 1.0);
+}
+
+TEST(Weights, BimodalValuesAndFraction) {
+  const Graph g = bimodal_weights(mesh(40), 1.0, 1e-6, 0.1, 53);
+  std::size_t heavy = 0;
+  for (const Weight w : g.edge_weights()) {
+    EXPECT_TRUE(w == 1.0 || w == 1e-6);
+    heavy += (w == 1.0);
+  }
+  const double frac =
+      static_cast<double>(heavy) / static_cast<double>(g.num_directed_edges());
+  EXPECT_NEAR(frac, 0.1, 0.03);
+}
+
+TEST(Weights, UnitWeights) {
+  const Graph g = unit_weights(uniform_weights(mesh(6), 59));
+  EXPECT_DOUBLE_EQ(g.min_weight(), 1.0);
+  EXPECT_DOUBLE_EQ(g.max_weight(), 1.0);
+}
+
+TEST(Weights, ReweightPreservesTopology) {
+  const Graph base = test::make_family(test::Family::kGnmUniform, 80, 61);
+  const Graph g = uniform_weights(base, 61);
+  EXPECT_EQ(g.num_edges(), base.num_edges());
+  EXPECT_EQ(g.targets(), base.targets());
+}
+
+}  // namespace
+}  // namespace gdiam::gen

@@ -1,0 +1,333 @@
+// Tests for core/labels.hpp and core/growing.hpp: packed-label ordering and
+// the Δ-growing engine (budgets, light edges, blocking, push/pull parity,
+// determinism, MR accounting).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/growing.hpp"
+#include "gen/basic.hpp"
+#include "graph/builder.hpp"
+#include "mr/stats.hpp"
+#include "sssp/dijkstra.hpp"
+#include "test_helpers.hpp"
+
+namespace gdiam::core {
+namespace {
+
+using test::Family;
+
+TEST(Labels, PackRoundTrip) {
+  const PackedLabel l = pack_label(3.25f, 42);
+  EXPECT_FLOAT_EQ(label_dist(l), 3.25f);
+  EXPECT_EQ(label_center(l), 42u);
+}
+
+TEST(Labels, MinPrefersSmallerDistance) {
+  EXPECT_LT(pack_label(1.0f, 100), pack_label(1.5f, 0));
+}
+
+TEST(Labels, MinBreaksTiesBySmallerCenter) {
+  EXPECT_LT(pack_label(2.0f, 3), pack_label(2.0f, 9));
+}
+
+TEST(Labels, UnassignedIsMaximal) {
+  EXPECT_LT(pack_label(1e30f, kInvalidNode - 1), kUnassignedLabel);
+  EXPECT_FALSE(label_assigned(kUnassignedLabel));
+  EXPECT_TRUE(label_assigned(pack_label(0.0f, 5)));
+}
+
+GrowingStepParams uniform_params(Weight delta) {
+  GrowingStepParams p;
+  p.light_threshold = delta;
+  p.uniform_budget = delta;
+  return p;
+}
+
+/// Runs growth to fixpoint; returns total step count.
+std::uint64_t grow_to_fixpoint(GrowingEngine& e,
+                               const GrowingStepParams& params) {
+  e.rebuild_frontier(params);
+  mr::RoundStats stats;
+  std::uint64_t steps = 0;
+  while (true) {
+    const auto r = e.step(params);
+    ++steps;
+    if (r.updates == 0) break;
+  }
+  return steps;
+}
+
+TEST(GrowingEngine, SingleSourceCoversBudgetBall) {
+  const Graph g = gen::path(20);  // unit weights
+  GrowingEngine e(g, GrowingPolicy::kPush);
+  e.set_source(10, 10);
+  grow_to_fixpoint(e, uniform_params(3.0));
+  for (NodeId u = 0; u < 20; ++u) {
+    const bool inside = std::abs(static_cast<int>(u) - 10) <= 3;
+    EXPECT_EQ(label_assigned(e.label(u)), inside) << "node " << u;
+    if (inside) {
+      EXPECT_FLOAT_EQ(label_dist(e.label(u)),
+                      static_cast<float>(std::abs(static_cast<int>(u) - 10)));
+      EXPECT_EQ(label_center(e.label(u)), 10u);
+    }
+  }
+}
+
+TEST(GrowingEngine, HeavyEdgesNeverTraversed) {
+  // 0 -1- 1 -5- 2 -1- 3 : with Δ = 2, the weight-5 edge blocks growth.
+  GraphBuilder b(4);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 5.0);
+  b.add_edge(2, 3, 1.0);
+  const Graph g = b.build();
+  GrowingEngine e(g, GrowingPolicy::kPush);
+  e.set_source(0, 0);
+  grow_to_fixpoint(e, uniform_params(2.0));
+  EXPECT_TRUE(label_assigned(e.label(1)));
+  EXPECT_FALSE(label_assigned(e.label(2)));
+  EXPECT_FALSE(label_assigned(e.label(3)));
+}
+
+TEST(GrowingEngine, BudgetCapsPathWeightNotEdgeCount) {
+  // Δ = 2.5 on a unit path reaches exactly 2 hops.
+  const Graph g = gen::path(10);
+  GrowingEngine e(g, GrowingPolicy::kPush);
+  e.set_source(0, 0);
+  grow_to_fixpoint(e, uniform_params(2.5));
+  EXPECT_TRUE(label_assigned(e.label(2)));
+  EXPECT_FALSE(label_assigned(e.label(3)));
+}
+
+TEST(GrowingEngine, TwoCentersPartitionByDistanceThenId) {
+  const Graph g = gen::path(11);
+  GrowingEngine e(g, GrowingPolicy::kPush);
+  e.set_source(0, 0);
+  e.set_source(10, 10);
+  grow_to_fixpoint(e, uniform_params(100.0));
+  for (NodeId u = 0; u <= 4; ++u) EXPECT_EQ(label_center(e.label(u)), 0u);
+  // Node 5 is equidistant: tie broken by smaller center id.
+  EXPECT_EQ(label_center(e.label(5)), 0u);
+  for (NodeId u = 6; u <= 10; ++u) EXPECT_EQ(label_center(e.label(u)), 10u);
+}
+
+TEST(GrowingEngine, BlockedNodesProposeButNeverAccept) {
+  const Graph g = gen::path(5);
+  GrowingEngine e(g, GrowingPolicy::kPush);
+  // Node 2 is a blocked boundary node of cluster 7 (dist 0 source).
+  e.set_source(2, 7);
+  e.block(2);
+  e.set_source(0, 0);
+  grow_to_fixpoint(e, uniform_params(100.0));
+  // 0 grew into 1; 2 kept its cluster despite 0's better-centered proposals;
+  // 2's own cluster grew into 3, 4.
+  EXPECT_EQ(label_center(e.label(1)), 0u);
+  EXPECT_EQ(label_center(e.label(2)), 7u);
+  EXPECT_EQ(label_center(e.label(3)), 7u);
+  EXPECT_EQ(label_center(e.label(4)), 7u);
+}
+
+TEST(GrowingEngine, PerCenterBudgetsRespected) {
+  const Graph g = gen::path(21);
+  GrowingEngine e(g, GrowingPolicy::kPush);
+  e.set_source(0, 0);
+  e.set_source(20, 20);
+  std::vector<Weight> budgets(21, 0.0);
+  budgets[0] = 2.0;   // cluster 0 may reach distance 2
+  budgets[20] = 5.0;  // cluster 20 may reach distance 5
+  GrowingStepParams p;
+  p.light_threshold = 100.0;
+  p.center_budget = &budgets;
+  e.rebuild_frontier(p);
+  while (e.step(p).updates > 0) {
+  }
+  EXPECT_TRUE(label_assigned(e.label(2)));
+  EXPECT_FALSE(label_assigned(e.label(3)));
+  EXPECT_TRUE(label_assigned(e.label(15)));
+  EXPECT_FALSE(label_assigned(e.label(14)));
+}
+
+TEST(GrowingEngine, StepCountMatchesHopDepth) {
+  const Graph g = gen::path(30);
+  GrowingEngine e(g, GrowingPolicy::kPush);
+  e.set_source(0, 0);
+  // Reaching hop k needs k steps; fixpoint discovered one step later.
+  const std::uint64_t steps = grow_to_fixpoint(e, uniform_params(7.0));
+  EXPECT_EQ(steps, 8u);
+}
+
+TEST(GrowingEngine, RebuildFrontierAfterBudgetIncrease) {
+  const Graph g = gen::path(10);
+  GrowingEngine e(g, GrowingPolicy::kPush);
+  e.set_source(0, 0);
+  grow_to_fixpoint(e, uniform_params(2.0));
+  EXPECT_FALSE(label_assigned(e.label(5)));
+  // Double Δ and re-arm: previously stuck nodes continue outward.
+  grow_to_fixpoint(e, uniform_params(4.0));
+  EXPECT_TRUE(label_assigned(e.label(4)));
+  EXPECT_FALSE(label_assigned(e.label(5)));
+  grow_to_fixpoint(e, uniform_params(9.0));
+  EXPECT_TRUE(label_assigned(e.label(9)));
+}
+
+TEST(GrowingEngine, MessagesAndUpdatesAccounting) {
+  const Graph g = gen::path(4);
+  GrowingEngine e(g, GrowingPolicy::kPush);
+  e.set_source(0, 0);
+  GrowingStepParams p = uniform_params(10.0);
+  e.rebuild_frontier(p);
+  // Step 1: node 0 proposes to 1 (1 message, 1 update, newly labeled).
+  auto r = e.step(p);
+  EXPECT_EQ(r.messages, 1u);
+  EXPECT_EQ(r.updates, 1u);
+  EXPECT_EQ(r.newly_labeled, 1u);
+  // Step 2: node 1 proposes to 0 (rejected) and 2 (accepted).
+  r = e.step(p);
+  EXPECT_EQ(r.messages, 2u);
+  EXPECT_EQ(r.updates, 1u);
+}
+
+TEST(GrowingEngine, RunStopsAtFixpointAndAccumulatesStats) {
+  const Graph g = gen::path(12);
+  GrowingEngine e(g, GrowingPolicy::kPush);
+  e.set_source(0, 0);
+  GrowingStepParams p = uniform_params(100.0);
+  e.rebuild_frontier(p);
+  mr::RoundStats stats;
+  const auto run = e.run(p, stats, 0, [](const auto&) { return false; });
+  EXPECT_EQ(run.totals.newly_labeled, 11u);
+  EXPECT_EQ(stats.relaxation_rounds, 12u);  // 11 growth + 1 fixpoint check
+  EXPECT_EQ(stats.node_updates, run.totals.updates);
+  EXPECT_TRUE(run.fixpoint);
+  EXPECT_FALSE(run.hit_step_cap);
+  EXPECT_EQ(run.steps, 12u);
+}
+
+TEST(GrowingEngine, RunHonorsMaxSteps) {
+  const Graph g = gen::path(100);
+  GrowingEngine e(g, GrowingPolicy::kPush);
+  e.set_source(0, 0);
+  GrowingStepParams p = uniform_params(1000.0);
+  e.rebuild_frontier(p);
+  mr::RoundStats stats;
+  const auto run = e.run(p, stats, 5, [](const auto&) { return false; });
+  EXPECT_EQ(stats.relaxation_rounds, 5u);
+  EXPECT_EQ(run.totals.newly_labeled, 5u);
+  EXPECT_TRUE(run.hit_step_cap);
+  EXPECT_FALSE(run.fixpoint);
+}
+
+TEST(GrowingEngine, RunHonorsStopPredicate) {
+  const Graph g = gen::path(100);
+  GrowingEngine e(g, GrowingPolicy::kPush);
+  e.set_source(0, 0);
+  GrowingStepParams p = uniform_params(1000.0);
+  e.rebuild_frontier(p);
+  mr::RoundStats stats;
+  const auto run = e.run(p, stats, 0, [](const GrowingStepResult& t) {
+    return t.newly_labeled >= 10;
+  });
+  EXPECT_GE(run.totals.newly_labeled, 10u);
+  EXPECT_LT(run.totals.newly_labeled, 20u);
+  EXPECT_FALSE(run.fixpoint);
+  EXPECT_FALSE(run.hit_step_cap);
+}
+
+TEST(GrowingEngine, ResetAndClearLabels) {
+  const Graph g = gen::path(5);
+  GrowingEngine e(g, GrowingPolicy::kPush);
+  e.set_source(0, 0);
+  e.block(3);
+  grow_to_fixpoint(e, uniform_params(10.0));
+  e.clear_labels();
+  EXPECT_FALSE(label_assigned(e.label(1)));
+  EXPECT_TRUE(e.is_blocked(3));  // clear_labels keeps the blocked set
+  e.reset();
+  EXPECT_FALSE(e.is_blocked(3));
+}
+
+// ---------------------------------------------------------------------------
+// Push/pull parity: identical labels and identical per-step accounting on
+// every family; this is the determinism backbone of the whole algorithm.
+
+class PushPullParity
+    : public testing::TestWithParam<std::tuple<Family, double>> {};
+
+TEST_P(PushPullParity, LabelsAndCountsMatchStepByStep) {
+  const auto [family, delta_factor] = GetParam();
+  const Graph g = test::make_family(family, 200, 77);
+  const Weight delta = delta_factor * g.avg_weight();
+
+  GrowingEngine push(g, GrowingPolicy::kPush);
+  GrowingEngine pull(g, GrowingPolicy::kPull);
+  for (GrowingEngine* e : {&push, &pull}) {
+    e->set_source(0, 0);
+    e->set_source(g.num_nodes() / 2, g.num_nodes() / 2);
+    e->block(1);
+    e->set_source(1, 1);  // a blocked boundary source
+  }
+  const GrowingStepParams p = uniform_params(delta);
+  push.rebuild_frontier(p);
+  pull.rebuild_frontier(p);
+
+  for (int step = 0; step < 64; ++step) {
+    const auto rp = push.step(p);
+    const auto rl = pull.step(p);
+    ASSERT_EQ(rp.messages, rl.messages) << "step " << step;
+    ASSERT_EQ(rp.updates, rl.updates) << "step " << step;
+    ASSERT_EQ(rp.newly_labeled, rl.newly_labeled) << "step " << step;
+    ASSERT_EQ(push.labels(), pull.labels()) << "step " << step;
+    if (rp.updates == 0) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PushPullParity,
+    testing::Combine(testing::ValuesIn(test::all_families()),
+                     testing::Values(0.5, 2.0, 50.0)),
+    [](const auto& param_info) {
+      const int pct = static_cast<int>(std::get<1>(param_info.param) * 10.0);
+      return std::string(test::family_name(std::get<0>(param_info.param))) +
+             "_d" + std::to_string(pct);
+    });
+
+TEST(GrowingEngine, DeterministicAcrossRepeatedRuns) {
+  const Graph g = test::make_family(Family::kRmatGiant, 400, 99);
+  std::vector<PackedLabel> first;
+  for (int run = 0; run < 3; ++run) {
+    GrowingEngine e(g, GrowingPolicy::kPush);
+    e.set_source(3, 3);
+    e.set_source(11, 11);
+    grow_to_fixpoint(e, uniform_params(5.0 * g.avg_weight()));
+    if (run == 0) {
+      first = e.labels();
+    } else {
+      EXPECT_EQ(e.labels(), first);
+    }
+  }
+}
+
+TEST(GrowingEngine, LabelsAreDistanceUpperBounds) {
+  // At fixpoint with unlimited budget, each label distance is at least the
+  // true multi-source distance and at most the distance to its own center.
+  const Graph g = test::make_family(Family::kGnmUniform, 150, 101);
+  GrowingEngine e(g, GrowingPolicy::kPush);
+  e.set_source(0, 0);
+  e.set_source(1, 1);
+  grow_to_fixpoint(e, uniform_params(kInfiniteWeight));
+  const auto d0 = sssp::dijkstra_distances(g, 0);
+  const auto d1 = sssp::dijkstra_distances(g, 1);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_TRUE(label_assigned(e.label(u)));
+    const double lab = label_dist(e.label(u));
+    const double best = std::min(d0[u], d1[u]);
+    EXPECT_GE(lab, best - 1e-5 * (1.0 + best));
+    const double own =
+        label_center(e.label(u)) == 0 ? d0[u] : d1[u];
+    EXPECT_LE(lab, own + 1e-5 * (1.0 + own));
+  }
+}
+
+}  // namespace
+}  // namespace gdiam::core

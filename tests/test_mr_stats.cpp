@@ -1,0 +1,70 @@
+// Tests for mr/stats.hpp: arithmetic, the work metric, formatting.
+
+#include <gtest/gtest.h>
+
+#include "mr/stats.hpp"
+
+namespace gdiam::mr {
+namespace {
+
+TEST(RoundStats, DefaultIsZero) {
+  const RoundStats s;
+  EXPECT_EQ(s.rounds(), 0u);
+  EXPECT_EQ(s.work(), 0u);
+}
+
+TEST(RoundStats, RoundsSumRelaxAndAux) {
+  RoundStats s;
+  s.relaxation_rounds = 5;
+  s.auxiliary_rounds = 3;
+  EXPECT_EQ(s.rounds(), 8u);
+}
+
+TEST(RoundStats, WorkIsMessagesPlusUpdates) {
+  RoundStats s;
+  s.messages = 100;
+  s.node_updates = 42;
+  EXPECT_EQ(s.work(), 142u);
+}
+
+TEST(RoundStats, PlusEqualsAccumulates) {
+  RoundStats a;
+  a.relaxation_rounds = 1;
+  a.messages = 10;
+  RoundStats b;
+  b.auxiliary_rounds = 2;
+  b.node_updates = 5;
+  a += b;
+  EXPECT_EQ(a.rounds(), 3u);
+  EXPECT_EQ(a.work(), 15u);
+}
+
+TEST(RoundStats, BinaryPlus) {
+  RoundStats a, b;
+  a.messages = 1;
+  b.messages = 2;
+  EXPECT_EQ((a + b).messages, 3u);
+  EXPECT_EQ(a.messages, 1u);  // operands untouched
+}
+
+TEST(RoundStats, EqualityComparesAllFields) {
+  RoundStats a, b;
+  EXPECT_EQ(a, b);
+  b.messages = 1;
+  EXPECT_NE(a, b);
+}
+
+TEST(RoundStats, ToStringMentionsAllCounters) {
+  RoundStats s;
+  s.relaxation_rounds = 7;
+  s.auxiliary_rounds = 2;
+  s.messages = 1000;
+  s.node_updates = 50;
+  const std::string str = to_string(s);
+  EXPECT_NE(str.find("rounds=9"), std::string::npos);
+  EXPECT_NE(str.find("relax=7"), std::string::npos);
+  EXPECT_NE(str.find("1.000e+03"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdiam::mr

@@ -1,0 +1,234 @@
+// gdiam — command-line interface to the library.
+//
+// Subcommands:
+//   generate  — synthesize a benchmark graph and write it to a file
+//   stats     — structural statistics of a graph file
+//   estimate  — CL-DIAM diameter approximation of a graph file
+//   sssp      — Δ-stepping SSSP / eccentricity from a source node
+//   convert   — translate between dimacs / edgelist / binary formats
+//
+// File formats are selected by extension: .gr (DIMACS), .txt/.el (edge
+// list), .bin (gdiam binary). Examples:
+//   gdiam generate --family mesh --side 512 --weights uniform --out m.bin
+//   gdiam estimate m.bin --tau 64
+//   gdiam sssp m.bin --source 0 --delta 0.5
+//   gdiam convert m.bin m.gr
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analysis/hop.hpp"
+#include "gdiam.hpp"
+
+namespace {
+
+using namespace gdiam;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr, R"(usage: gdiam <command> [args]
+
+commands:
+  generate --family mesh|torus|rmat|road|gnm|path --out FILE
+           [--side N] [--scale S] [--edge-factor F] [--nodes N] [--edges M]
+           [--weights unit|uniform|int|bimodal] [--seed S]
+  stats    FILE [--sweeps K]
+  estimate FILE [--tau T] [--seed S] [--cluster2] [--classic] [--pull]
+  decompose FILE --out CLUSTERING.gdcl [--tau T] [--seed S]
+            [--quotient QUOTIENT_GRAPH_FILE]
+  sssp     FILE [--source U] [--delta D]
+  convert  IN OUT
+)");
+  std::exit(error == nullptr ? 0 : 2);
+}
+
+Graph load(const std::string& path) {
+  if (path.ends_with(".gr")) return io::read_dimacs_file(path);
+  if (path.ends_with(".bin")) return io::read_binary_file(path);
+  return io::read_edge_list_file(path);
+}
+
+void store(const Graph& g, const std::string& path) {
+  if (path.ends_with(".gr")) {
+    io::write_dimacs_file(g, path);
+  } else if (path.ends_with(".bin")) {
+    io::write_binary_file(g, path);
+  } else {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("cannot open " + path);
+    io::write_edge_list(g, f);
+  }
+}
+
+Graph apply_weights(const Graph& g, const std::string& kind,
+                    std::uint64_t seed) {
+  if (kind == "unit") return gen::unit_weights(g);
+  if (kind == "uniform") return gen::uniform_weights(g, seed);
+  if (kind == "int") return gen::uniform_int_weights(g, 1, 1000, seed);
+  if (kind == "bimodal") return gen::bimodal_weights(g, 1.0, 1e-6, 0.1, seed);
+  if (kind == "keep") return g;
+  throw std::invalid_argument("unknown --weights " + kind);
+}
+
+int cmd_generate(const util::Options& o) {
+  const std::string family = o.get_string("family", "mesh");
+  const std::string out = o.get_string("out", "");
+  if (out.empty()) usage("generate requires --out");
+  const auto seed = static_cast<std::uint64_t>(o.get_int("seed", 1));
+  util::Xoshiro256 rng(seed);
+
+  Graph g;
+  if (family == "mesh") {
+    g = gen::mesh(static_cast<NodeId>(o.get_int("side", 256)));
+  } else if (family == "torus") {
+    g = gen::torus(static_cast<NodeId>(o.get_int("side", 256)));
+  } else if (family == "rmat") {
+    g = gen::rmat(static_cast<unsigned>(o.get_int("scale", 16)),
+                  static_cast<EdgeIndex>(o.get_int("edge-factor", 16)), rng);
+  } else if (family == "road") {
+    const auto side = static_cast<NodeId>(o.get_int("side", 256));
+    g = gen::road_network(side, side, rng);
+  } else if (family == "gnm") {
+    g = gen::gnm(static_cast<NodeId>(o.get_int("nodes", 10000)),
+                 static_cast<EdgeIndex>(o.get_int("edges", 30000)), rng,
+                 /*ensure_connected=*/true);
+  } else if (family == "path") {
+    g = gen::path(static_cast<NodeId>(o.get_int("nodes", 10000)));
+  } else {
+    usage("unknown --family");
+  }
+  g = apply_weights(g, o.get_string("weights", "keep"), seed ^ 0xabcd);
+  store(g, out);
+  std::printf("wrote %s: n=%u m=%llu, weights [%g, %g]\n", out.c_str(),
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()),
+              g.min_weight(), g.max_weight());
+  return 0;
+}
+
+int cmd_stats(const util::Options& o) {
+  if (o.positional().size() < 2) usage("stats requires a graph file");
+  const Graph g = load(o.positional()[1]);
+  const Components cc = connected_components(g);
+  const DegreeStats deg = degree_stats(g);
+  std::printf("nodes:       %u\n", g.num_nodes());
+  std::printf("edges:       %llu\n",
+              static_cast<unsigned long long>(g.num_edges()));
+  std::printf("components:  %u (giant: %u nodes)\n", cc.count,
+              cc.count != 0 ? cc.sizes[0] : 0);
+  std::printf("degree:      min %llu, avg %.2f, max %llu\n",
+              static_cast<unsigned long long>(deg.min), deg.avg,
+              static_cast<unsigned long long>(deg.max));
+  std::printf("weights:     min %g, avg %g, max %g\n", g.min_weight(),
+              g.avg_weight(), g.max_weight());
+  const auto sweeps = static_cast<unsigned>(o.get_int("sweeps", 4));
+  const Graph giant = cc.count > 1 ? largest_component(g).graph : g;
+  std::printf("diameter:    >= %.6g (weighted, %u sweeps, giant component)\n",
+              sssp::diameter_lower_bound(giant, sweeps, 1).lower_bound,
+              sweeps);
+  std::printf("hop diam:    >= %u\n",
+              analysis::hop_diameter_lower_bound(giant, sweeps, 1));
+  return 0;
+}
+
+int cmd_estimate(const util::Options& o) {
+  if (o.positional().size() < 2) usage("estimate requires a graph file");
+  const Graph g = load(o.positional()[1]);
+  core::DiameterApproxOptions opt;
+  opt.cluster.tau = static_cast<std::uint32_t>(o.get_int(
+      "tau", core::tau_for_cluster_target(g.num_nodes(), g.num_nodes() / 4)));
+  opt.cluster.seed = static_cast<std::uint64_t>(o.get_int("seed", 1));
+  opt.use_cluster2 = o.get_bool("cluster2", false);
+  opt.radius_aware = !o.get_bool("classic", false);
+  if (o.get_bool("pull", false)) {
+    opt.cluster.policy = core::GrowingPolicy::kPull;
+  }
+  util::Timer t;
+  const auto r = core::approximate_diameter(g, opt);
+  std::printf("estimate:      %.6g%s\n", r.estimate,
+              r.quotient_exact ? " (conservative upper bound)" : "");
+  std::printf("classic form:  %.6g  (Phi(G_C)=%.6g + 2R, R=%.6g)\n",
+              r.estimate_classic, r.quotient_diam, r.radius);
+  std::printf("clusters:      %u (tau=%u)\n", r.num_clusters,
+              opt.cluster.tau);
+  std::printf("cost:          %s\n", mr::to_string(r.stats).c_str());
+  std::printf("time:          %s\n", util::format_duration(t.seconds()).c_str());
+  return 0;
+}
+
+int cmd_decompose(const util::Options& o) {
+  if (o.positional().size() < 2) usage("decompose requires a graph file");
+  const std::string out = o.get_string("out", "");
+  if (out.empty()) usage("decompose requires --out");
+  const Graph g = load(o.positional()[1]);
+  core::ClusterOptions opt;
+  opt.tau = static_cast<std::uint32_t>(o.get_int(
+      "tau", core::tau_for_cluster_target(g.num_nodes(), g.num_nodes() / 4)));
+  opt.seed = static_cast<std::uint64_t>(o.get_int("seed", 1));
+  util::Timer t;
+  const core::Clustering c = core::cluster(g, opt);
+  core::write_clustering_file(c, out);
+  std::printf("decomposed in %s: %u clusters, radius %.6g (tau=%u)\n",
+              util::format_duration(t.seconds()).c_str(), c.num_clusters(),
+              c.radius, opt.tau);
+  std::printf("clustering written to %s\n", out.c_str());
+  const std::string qout = o.get_string("quotient", "");
+  if (!qout.empty()) {
+    const core::QuotientGraph q = core::build_quotient(g, c);
+    store(q.graph, qout);
+    std::printf("quotient graph (%u nodes, %llu edges) written to %s\n",
+                q.graph.num_nodes(),
+                static_cast<unsigned long long>(q.graph.num_edges()),
+                qout.c_str());
+  }
+  return 0;
+}
+
+int cmd_sssp(const util::Options& o) {
+  if (o.positional().size() < 2) usage("sssp requires a graph file");
+  const Graph g = load(o.positional()[1]);
+  const auto source = static_cast<NodeId>(o.get_int("source", 0));
+  sssp::DeltaSteppingOptions opt;
+  opt.delta = o.get_double("delta", 0.0);
+  util::Timer t;
+  const auto r = sssp::delta_stepping(g, source, opt);
+  std::printf("source:        %u (Delta=%g)\n", source, r.delta_used);
+  std::printf("eccentricity:  %.6g (farthest node %u)\n", r.eccentricity,
+              r.farthest);
+  std::printf("2-approx diam: %.6g\n", 2.0 * r.eccentricity);
+  std::printf("cost:          %s\n", mr::to_string(r.stats).c_str());
+  std::printf("time:          %s\n", util::format_duration(t.seconds()).c_str());
+  return 0;
+}
+
+int cmd_convert(const util::Options& o) {
+  if (o.positional().size() < 3) usage("convert requires IN and OUT files");
+  const Graph g = load(o.positional()[1]);
+  store(g, o.positional()[2]);
+  std::printf("converted %s -> %s (n=%u, m=%llu)\n",
+              o.positional()[1].c_str(), o.positional()[2].c_str(),
+              g.num_nodes(), static_cast<unsigned long long>(g.num_edges()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    const util::Options opts(argc, argv);
+    if (cmd == "generate") return cmd_generate(opts);
+    if (cmd == "stats") return cmd_stats(opts);
+    if (cmd == "estimate") return cmd_estimate(opts);
+    if (cmd == "decompose") return cmd_decompose(opts);
+    if (cmd == "sssp") return cmd_sssp(opts);
+    if (cmd == "convert") return cmd_convert(opts);
+    if (cmd == "--help" || cmd == "help") usage();
+    usage(("unknown command '" + cmd + "'").c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gdiam %s: %s\n", cmd.c_str(), e.what());
+    return 1;
+  }
+}
