@@ -49,6 +49,9 @@ struct ClusterOptions {
   /// remark suggests O(n/τ)); 0 = unlimited.
   std::uint64_t max_steps_per_growth = 0;
   GrowingPolicy policy = GrowingPolicy::kPush;
+  /// Shard layout for GrowingPolicy::kPartitioned (ignored by kPush/kPull):
+  /// number of partitions and hash vs range partitioner.
+  mr::PartitionOptions partition;
   std::uint64_t seed = 1;
 };
 

@@ -5,21 +5,28 @@
 
 namespace gdiam::core {
 
-GrowingEngine::GrowingEngine(const Graph& g, GrowingPolicy policy)
+GrowingEngine::GrowingEngine(const Graph& g, GrowingPolicy policy,
+                             const mr::PartitionOptions& partition)
     : g_(g), policy_(policy) {
+  if (policy_ == GrowingPolicy::kPartitioned) {
+    partition_ = std::make_unique<mr::Partition>(g_, partition);
+    bsp_ = std::make_unique<mr::BspEngine>(*partition_);
+    exchange_.resize(partition_->num_partitions());
+  }
   reset();
 }
 
 void GrowingEngine::reset() {
   const NodeId n = g_.num_nodes();
+  const bool double_buffered = policy_ != GrowingPolicy::kPush;
   labels_.assign(n, kUnassignedLabel);
   blocked_.assign(n, 0);
   frontier_.clear();
   frontier_labels_.clear();
   in_next_frontier_.assign(n, 0);
-  scratch_.assign(policy_ == GrowingPolicy::kPull ? n : 0, kUnassignedLabel);
+  scratch_.assign(double_buffered ? n : 0, kUnassignedLabel);
   changed_.assign(n, 0);
-  next_changed_.assign(policy_ == GrowingPolicy::kPull ? n : 0, 0);
+  next_changed_.assign(double_buffered ? n : 0, 0);
 }
 
 void GrowingEngine::clear_labels() {
@@ -54,8 +61,12 @@ void GrowingEngine::rebuild_frontier(const GrowingStepParams& params) {
 }
 
 GrowingStepResult GrowingEngine::step(const GrowingStepParams& params) {
-  return policy_ == GrowingPolicy::kPush ? step_push(params)
-                                         : step_pull(params);
+  switch (policy_) {
+    case GrowingPolicy::kPush: return step_push(params);
+    case GrowingPolicy::kPartitioned: return step_partitioned(params);
+    case GrowingPolicy::kPull:
+    default: return step_pull(params);
+  }
 }
 
 GrowingStepResult GrowingEngine::step_push(const GrowingStepParams& params) {
@@ -167,6 +178,103 @@ GrowingStepResult GrowingEngine::step_pull(const GrowingStepParams& params) {
   out.messages = messages;
   out.updates = updates;
   out.newly_labeled = newly;
+  return out;
+}
+
+// One Δ-growing step as one BSP superstep. Semantically this is step_pull
+// re-expressed sender-side: every proposal is computed from the step-start
+// labels and the step outcome is min(step-start label, proposals), so labels
+// and counters are bit-identical to kPush/kPull. The difference is *where*
+// the work runs: each shard relaxes only the arcs it owns, writes only the
+// scratch slots of nodes it owns, and sends proposals for ghost targets
+// through the exchange — which is exactly the traffic a distributed
+// deployment would shuffle between reducers.
+GrowingStepResult GrowingEngine::step_partitioned(
+    const GrowingStepParams& params) {
+  GrowingStepResult out;
+  const NodeId n = g_.num_nodes();
+  const std::uint32_t k = partition_->num_partitions();
+
+  // Step-start snapshot; shards fold proposals into scratch_ below.
+#pragma omp parallel for schedule(static, 4096)
+  for (NodeId v = 0; v < n; ++v) scratch_[v] = labels_[v];
+
+  // Per-shard counters, summed after the superstep (single-writer slots,
+  // like the exchange's mailbox rows).
+  std::vector<std::uint64_t> shard_messages(k, 0);
+  std::vector<std::uint64_t> shard_updates(k, 0);
+  std::vector<std::uint64_t> shard_newly(k, 0);
+
+  auto compute = [&](const mr::Shard& sh, mr::Exchange<LabelProposal>& ex) {
+    std::uint64_t messages = 0;
+    for (NodeId l = 0; l < sh.num_owned; ++l) {
+      const NodeId u = sh.global_of_local[l];
+      if (!changed_[u]) continue;
+      const PackedLabel lab = labels_[u];
+      if (!label_assigned(lab)) continue;
+      const float b = label_dist(lab);
+      const NodeId c = label_center(lab);
+      const Weight budget = budget_of(params, c);
+      if (!(static_cast<Weight>(b) < budget)) continue;
+      const EdgeIndex lo = sh.offsets[l];
+      const EdgeIndex hi = sh.offsets[l + 1];
+      for (EdgeIndex i = lo; i < hi; ++i) {
+        const Weight w = sh.weights[i];
+        if (w > params.light_threshold) continue;
+        const Weight nb = static_cast<Weight>(b) + w;
+        if (nb > budget) continue;
+        const NodeId tl = sh.targets[i];
+        const NodeId v = sh.global_of_local[tl];
+        if (blocked_[v]) continue;  // contracted members never accept
+        ++messages;
+        const PackedLabel cand = pack_label(static_cast<float>(nb), c);
+        if (!sh.is_ghost(tl)) {
+          // Shard-internal proposal: fold immediately (only this shard's
+          // thread writes scratch slots of nodes it owns).
+          scratch_[v] = std::min(scratch_[v], cand);
+        } else {
+          ex.send(sh.id, sh.ghost_owner[tl - sh.num_owned],
+                  LabelProposal{partition_->local_id(v), cand});
+        }
+      }
+    }
+    shard_messages[sh.id] = messages;
+  };
+
+  auto apply = [&](const mr::Shard& sh,
+                   std::span<const LabelProposal> inbox) {
+    for (const LabelProposal& m : inbox) {
+      const NodeId v = sh.global_of_local[m.target];
+      scratch_[v] = std::min(scratch_[v], m.label);
+    }
+    // Commit the shard's owned slice: detect improvements against the
+    // step-start labels exactly like step_pull's per-node comparison.
+    std::uint64_t updates = 0, newly = 0;
+    for (NodeId l = 0; l < sh.num_owned; ++l) {
+      const NodeId v = sh.global_of_local[l];
+      next_changed_[v] = 0;
+      if (scratch_[v] != labels_[v]) {
+        next_changed_[v] = 1;
+        ++updates;
+        if (labels_[v] == kUnassignedLabel) ++newly;
+      }
+    }
+    shard_updates[sh.id] = updates;
+    shard_newly[sh.id] = newly;
+  };
+
+  const mr::ExchangeCounters traffic =
+      bsp_->superstep(exchange_, compute, apply);
+
+  labels_.swap(scratch_);
+  changed_.swap(next_changed_);
+  for (std::uint32_t s = 0; s < k; ++s) {
+    out.messages += shard_messages[s];
+    out.updates += shard_updates[s];
+    out.newly_labeled += shard_newly[s];
+  }
+  out.cross_messages = traffic.cross_messages;
+  out.cross_bytes = traffic.cross_bytes;
   return out;
 }
 

@@ -18,28 +18,48 @@
 //     propose (they are the cluster's boundary re-attached to its center by
 //     Procedure Contract) but never accept a new label.
 //
-// Two execution policies produce bit-identical labels per step:
+// Three execution policies produce bit-identical labels per step:
 //   * kPush — frontier-driven: only nodes whose label changed in the previous
 //     step send proposals; conflicts resolved by atomic min. Fast path.
 //   * kPull — dense synchronous Jacobi sweep into a double buffer; the
 //     MR-faithful formulation (each step is literally one round of message
 //     exchange). Reference implementation for tests and ablations.
+//   * kPartitioned — the step executed on the sharded BSP engine
+//     (mr/bsp_engine.hpp): each shard relaxes its owned nodes locally and
+//     routes proposals for remote nodes through a typed exchange, so the
+//     cross-partition communication a real MR deployment would pay is
+//     measured, not merely modeled (DESIGN.md §5).
 //
 // MR accounting: one relaxation round per step; a message is one proposal
 // that satisfies the light/budget conditions; a node update is one accepted
-// label improvement.
+// label improvement. The kPartitioned policy additionally records how many
+// of those messages crossed a shard boundary and their payload bytes.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/labels.hpp"
 #include "graph/graph.hpp"
+#include "mr/bsp_engine.hpp"
+#include "mr/exchange.hpp"
+#include "mr/partition.hpp"
 #include "mr/stats.hpp"
 #include "util/parallel.hpp"
 
 namespace gdiam::core {
 
-enum class GrowingPolicy { kPush, kPull };
+enum class GrowingPolicy { kPush, kPull, kPartitioned };
+
+/// One cross-shard relaxation request: "lower the label of your node
+/// `target` (destination-local id) to `label` if it improves it". Packed so
+/// sizeof equals the 12 serialized bytes a wire format would carry — the
+/// exchange's byte accounting uses sizeof and must not count padding.
+struct [[gnu::packed]] LabelProposal {
+  NodeId target = 0;  // local id within the destination shard
+  PackedLabel label = kUnassignedLabel;
+};
+static_assert(sizeof(LabelProposal) == 12);
 
 /// Per-step configuration. Exactly one of uniform budget / per-center budget
 /// is in effect: `center_budget == nullptr` selects the uniform budget.
@@ -56,11 +76,18 @@ struct GrowingStepResult {
   std::uint64_t messages = 0;       // proposals satisfying the conditions
   std::uint64_t updates = 0;        // accepted label improvements
   std::uint64_t newly_labeled = 0;  // updates that hit an unassigned node
+  /// Messages that crossed a shard boundary + their payload bytes
+  /// (kPartitioned only; a subset of `messages`, zero for K = 1).
+  std::uint64_t cross_messages = 0;
+  std::uint64_t cross_bytes = 0;
 };
 
 class GrowingEngine {
  public:
-  GrowingEngine(const Graph& g, GrowingPolicy policy);
+  /// `partition` configures the kPartitioned policy (number of shards and
+  /// partitioner); ignored by kPush/kPull.
+  GrowingEngine(const Graph& g, GrowingPolicy policy,
+                const mr::PartitionOptions& partition = {});
 
   /// Back to the pristine state: all labels unassigned, nothing blocked.
   void reset();
@@ -121,9 +148,13 @@ class GrowingEngine {
       stats.relaxation_rounds += 1;
       stats.messages += r.messages;
       stats.node_updates += r.updates;
+      stats.cross_messages += r.cross_messages;
+      stats.cross_bytes += r.cross_bytes;
       out.totals.messages += r.messages;
       out.totals.updates += r.updates;
       out.totals.newly_labeled += r.newly_labeled;
+      out.totals.cross_messages += r.cross_messages;
+      out.totals.cross_bytes += r.cross_bytes;
       if (r.updates == 0) {
         out.fixpoint = true;
         break;
@@ -137,9 +168,15 @@ class GrowingEngine {
   [[nodiscard]] GrowingPolicy policy() const noexcept { return policy_; }
   [[nodiscard]] const Graph& graph() const noexcept { return g_; }
 
+  /// The shard layout backing kPartitioned; nullptr for kPush/kPull.
+  [[nodiscard]] const mr::Partition* partition() const noexcept {
+    return partition_.get();
+  }
+
  private:
   GrowingStepResult step_push(const GrowingStepParams& params);
   GrowingStepResult step_pull(const GrowingStepParams& params);
+  GrowingStepResult step_partitioned(const GrowingStepParams& params);
 
   /// Budget of the cluster centered at `c` under `params`.
   [[nodiscard]] static Weight budget_of(const GrowingStepParams& params,
@@ -157,10 +194,14 @@ class GrowingEngine {
   std::vector<PackedLabel> frontier_labels_;  // snapshot at step start
   std::vector<std::uint8_t> in_next_frontier_;
   util::ThreadBuffers<NodeId> next_buffers_;
-  // pull policy state
+  // pull + partitioned policy state
   std::vector<PackedLabel> scratch_;
   std::vector<std::uint8_t> changed_;  // nodes updated in the previous step
   std::vector<std::uint8_t> next_changed_;
+  // partitioned policy state
+  std::unique_ptr<mr::Partition> partition_;
+  std::unique_ptr<mr::BspEngine> bsp_;
+  mr::Exchange<LabelProposal> exchange_;
 };
 
 }  // namespace gdiam::core

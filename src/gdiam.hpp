@@ -31,6 +31,9 @@
 #include "graph/graph.hpp"     // IWYU pragma: export
 #include "graph/io.hpp"        // IWYU pragma: export
 #include "graph/ops.hpp"       // IWYU pragma: export
+#include "mr/bsp_engine.hpp"   // IWYU pragma: export
+#include "mr/exchange.hpp"     // IWYU pragma: export
+#include "mr/partition.hpp"    // IWYU pragma: export
 #include "mr/stats.hpp"        // IWYU pragma: export
 #include "sssp/bellman_ford.hpp"    // IWYU pragma: export
 #include "sssp/delta_stepping.hpp"  // IWYU pragma: export

@@ -1,0 +1,26 @@
+#include "mr/bsp_engine.hpp"
+
+#include <cstdio>
+
+namespace gdiam::mr {
+
+std::string describe(const Partition& p) {
+  const auto k = p.num_partitions();
+  std::uint64_t nodes = 0, arcs = 0;
+  for (const Shard& sh : p.shards()) {
+    nodes += sh.num_owned;
+    arcs += sh.num_arcs();
+  }
+  char buf[160];
+  std::snprintf(
+      buf, sizeof buf,
+      "K=%u %s, owned max/avg %llu/%llu nodes, arcs max/avg %llu/%llu",
+      k, p.strategy() == PartitionStrategy::kHash ? "hash" : "range",
+      static_cast<unsigned long long>(p.max_owned()),
+      static_cast<unsigned long long>(nodes / k),
+      static_cast<unsigned long long>(p.max_arcs()),
+      static_cast<unsigned long long>(arcs / k));
+  return buf;
+}
+
+}  // namespace gdiam::mr

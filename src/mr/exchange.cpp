@@ -1,0 +1,10 @@
+#include "mr/exchange.hpp"
+
+namespace gdiam::mr {
+
+void record_exchange(RoundStats& stats, const ExchangeCounters& c) noexcept {
+  stats.cross_messages += c.cross_messages;
+  stats.cross_bytes += c.cross_bytes;
+}
+
+}  // namespace gdiam::mr

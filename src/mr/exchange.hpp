@@ -1,0 +1,143 @@
+#pragma once
+// Typed message exchange for one BSP superstep (mr/bsp_engine.hpp).
+//
+// During local compute each shard stages messages addressed to other shards;
+// seal() plays the role of the round barrier: it concatenates every mailbox
+// into per-destination inboxes in deterministic (source-shard ascending)
+// order and tallies the traffic — message count and serialized payload bytes,
+// split into total and *cross-partition* (source != destination). The cross
+// counters are what a real MR/Spark shuffle would put on the wire; they feed
+// the extended RoundStats (mr/stats.hpp) and the Figure 5 partition bench.
+//
+// Staging is lock-free by construction, the same way util::ThreadBuffers
+// makes flat kernels lock-free: every source shard stages into a private
+// row of destination-tagged messages, and the BSP engine runs one shard's
+// compute on one thread, so no two threads ever append to the same vector.
+// (Rows are tagged rather than a dense K×K matrix so memory stays
+// O(K + messages) — --partitions is only clamped to n.) Delivery order is a
+// pure function of (source shard, staging order), never of thread
+// scheduling — the determinism contract every gdiam kernel follows.
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "mr/partition.hpp"
+#include "mr/stats.hpp"
+
+namespace gdiam::mr {
+
+/// Traffic tally of one sealed exchange.
+struct ExchangeCounters {
+  std::uint64_t messages = 0;        // everything staged
+  std::uint64_t bytes = 0;           // messages * sizeof(Msg)
+  std::uint64_t cross_messages = 0;  // staged with source != destination
+  std::uint64_t cross_bytes = 0;
+
+  ExchangeCounters& operator+=(const ExchangeCounters& o) noexcept {
+    messages += o.messages;
+    bytes += o.bytes;
+    cross_messages += o.cross_messages;
+    cross_bytes += o.cross_bytes;
+    return *this;
+  }
+  friend bool operator==(const ExchangeCounters&,
+                         const ExchangeCounters&) = default;
+};
+
+/// Adds the cross-partition traffic of one sealed exchange to `stats`
+/// (shard-internal messages never leave a worker, so only cross traffic
+/// counts as communication volume).
+void record_exchange(RoundStats& stats, const ExchangeCounters& c) noexcept;
+
+/// Per-superstep mailbox matrix for messages of type Msg (a trivially
+/// copyable value type; sizeof(Msg) is the serialized size). Lifecycle:
+///   send(from, to, m)*  ->  seal()  ->  inbox(to)*  ->  clear()
+template <typename Msg>
+class Exchange {
+  static_assert(std::is_trivially_copyable_v<Msg>,
+                "exchange messages are serialized by memcpy semantics");
+
+ public:
+  Exchange() = default;
+  explicit Exchange(std::uint32_t num_partitions) { resize(num_partitions); }
+
+  void resize(std::uint32_t num_partitions) {
+    k_ = num_partitions;
+    rows_.assign(k_, {});
+    inbox_.assign(k_, {});
+    sealed_ = false;
+  }
+
+  [[nodiscard]] std::uint32_t num_partitions() const noexcept { return k_; }
+
+  /// Stages one message. Only the thread computing shard `from` may call
+  /// this with that `from` (the BSP engine guarantees it).
+  void send(ShardId from, ShardId to, const Msg& m) {
+    rows_[from].push_back(Tagged{to, m});
+  }
+
+  /// The barrier: routes staged rows into per-destination inboxes in
+  /// source-shard ascending order and returns the traffic tally.
+  ExchangeCounters seal() {
+    ExchangeCounters c;
+    // Pre-size the inboxes so routing appends without reallocation.
+    std::vector<std::size_t> counts(k_, 0);
+    for (const auto& row : rows_) {
+      for (const Tagged& t : row) counts[t.to]++;
+    }
+    for (ShardId to = 0; to < k_; ++to) {
+      inbox_[to].clear();
+      inbox_[to].reserve(counts[to]);
+    }
+    for (ShardId from = 0; from < k_; ++from) {
+      for (const Tagged& t : rows_[from]) {
+        inbox_[t.to].push_back(t.msg);
+        c.messages++;
+        c.bytes += sizeof(Msg);
+        if (from != t.to) {
+          c.cross_messages++;
+          c.cross_bytes += sizeof(Msg);
+        }
+      }
+    }
+    sealed_ = true;
+    return c;
+  }
+
+  /// Messages addressed to shard `to`; valid after seal(), until clear().
+  [[nodiscard]] std::span<const Msg> inbox(ShardId to) const noexcept {
+    return inbox_[to];
+  }
+
+  [[nodiscard]] bool sealed() const noexcept { return sealed_; }
+
+  /// Messages currently staged (pre-seal; used by tests and assertions).
+  [[nodiscard]] std::uint64_t staged() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& row : rows_) total += row.size();
+    return total;
+  }
+
+  /// Empties mailboxes and inboxes, ready for the next superstep. Capacity
+  /// is kept so steady-state rounds allocate nothing.
+  void clear() noexcept {
+    for (auto& row : rows_) row.clear();
+    for (auto& in : inbox_) in.clear();
+    sealed_ = false;
+  }
+
+ private:
+  struct Tagged {
+    ShardId to;
+    Msg msg;
+  };
+
+  std::uint32_t k_ = 0;
+  std::vector<std::vector<Tagged>> rows_;  // one staging row per source
+  std::vector<std::vector<Msg>> inbox_;    // filled by seal()
+  bool sealed_ = false;
+};
+
+}  // namespace gdiam::mr

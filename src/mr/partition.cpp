@@ -1,0 +1,169 @@
+#include "mr/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace gdiam::mr {
+
+namespace {
+
+/// Stateless node hash for PartitionStrategy::kHash (one SplitMix64 step;
+/// the constant stream makes the assignment a pure function of the node id).
+std::uint32_t hash_owner(NodeId u, std::uint32_t k) {
+  return static_cast<std::uint32_t>(util::SplitMix64(u).next() % k);
+}
+
+}  // namespace
+
+Partition::Partition(const Graph& g, const PartitionOptions& opts)
+    : strategy_(opts.strategy) {
+  const NodeId n = g.num_nodes();
+  const std::uint32_t k = std::min<std::uint32_t>(
+      std::max<std::uint32_t>(1, opts.num_partitions),
+      std::max<NodeId>(1, n));
+
+  // --- owner mapping ---------------------------------------------------------
+  owner_.resize(n);
+  if (strategy_ == PartitionStrategy::kHash) {
+    for (NodeId u = 0; u < n; ++u) owner_[u] = hash_owner(u, k);
+  } else {
+    // Balanced contiguous ranges: shard s owns [s·n/K, (s+1)·n/K).
+    for (std::uint32_t s = 0; s < k; ++s) {
+      const auto lo = static_cast<NodeId>(
+          (static_cast<std::uint64_t>(s) * n) / k);
+      const auto hi = static_cast<NodeId>(
+          (static_cast<std::uint64_t>(s + 1) * n) / k);
+      for (NodeId u = lo; u < hi; ++u) owner_[u] = s;
+    }
+  }
+
+  // --- owned-node numbering (ascending global id within each shard) ----------
+  shards_.resize(k);
+  local_of_global_.resize(n);
+  for (std::uint32_t s = 0; s < k; ++s) shards_[s].id = s;
+  for (NodeId u = 0; u < n; ++u) {
+    Shard& sh = shards_[owner_[u]];
+    local_of_global_[u] = sh.num_owned;
+    sh.global_of_local.push_back(u);
+    sh.num_owned++;
+  }
+
+  // --- per-shard CSR + ghost tables ------------------------------------------
+  // kInvalidNode marks "not yet assigned a local id in this shard". The
+  // scratch array is reset entry-by-entry after each shard (only the nodes
+  // that shard touched), keeping construction O(n + m) overall instead of
+  // O(K·n) — --partitions is only clamped to n, so K can be large.
+  std::vector<NodeId> local_in_shard(n, kInvalidNode);
+  for (std::uint32_t s = 0; s < k; ++s) {
+    Shard& sh = shards_[s];
+    for (NodeId l = 0; l < sh.num_owned; ++l) {
+      local_in_shard[sh.global_of_local[l]] = l;
+    }
+
+    // First pass: discover ghosts in ascending global id so ghost local ids
+    // are deterministic regardless of arc order.
+    std::vector<NodeId> ghost_globals;
+    for (NodeId l = 0; l < sh.num_owned; ++l) {
+      for (const NodeId v : g.neighbors(sh.global_of_local[l])) {
+        if (owner_[v] != s) ghost_globals.push_back(v);
+      }
+    }
+    std::sort(ghost_globals.begin(), ghost_globals.end());
+    ghost_globals.erase(
+        std::unique(ghost_globals.begin(), ghost_globals.end()),
+        ghost_globals.end());
+    for (const NodeId v : ghost_globals) {
+      local_in_shard[v] =
+          sh.num_owned + static_cast<NodeId>(sh.ghost_owner.size());
+      sh.global_of_local.push_back(v);
+      sh.ghost_owner.push_back(owner_[v]);
+    }
+
+    // Second pass: the owned-node CSR with localized targets.
+    sh.offsets.reserve(sh.num_owned + 1);
+    sh.offsets.push_back(0);
+    for (NodeId l = 0; l < sh.num_owned; ++l) {
+      const NodeId u = sh.global_of_local[l];
+      const auto nbr = g.neighbors(u);
+      const auto wts = g.weights(u);
+      for (std::size_t i = 0; i < nbr.size(); ++i) {
+        sh.targets.push_back(local_in_shard[nbr[i]]);
+        sh.weights.push_back(wts[i]);
+      }
+      sh.offsets.push_back(static_cast<EdgeIndex>(sh.targets.size()));
+    }
+
+    // Reset exactly the entries this shard assigned (owned + ghosts).
+    for (const NodeId u : sh.global_of_local) {
+      local_in_shard[u] = kInvalidNode;
+    }
+  }
+}
+
+NodeId Partition::max_owned() const noexcept {
+  NodeId m = 0;
+  for (const Shard& sh : shards_) m = std::max(m, sh.num_owned);
+  return m;
+}
+
+EdgeIndex Partition::max_arcs() const noexcept {
+  EdgeIndex m = 0;
+  for (const Shard& sh : shards_) m = std::max(m, sh.num_arcs());
+  return m;
+}
+
+bool Partition::validate(const Graph& g) const {
+  const NodeId n = g.num_nodes();
+  if (owner_.size() != n || local_of_global_.size() != n) return false;
+
+  // Every node owned exactly once, with a round-tripping local id.
+  std::uint64_t owned_total = 0;
+  for (const Shard& sh : shards_) {
+    owned_total += sh.num_owned;
+    if (sh.offsets.size() != static_cast<std::size_t>(sh.num_owned) + 1) {
+      return false;
+    }
+    if (sh.targets.size() != sh.weights.size()) return false;
+    for (NodeId l = 0; l < sh.num_owned; ++l) {
+      const NodeId u = sh.global_of_local[l];
+      if (u >= n || owner_[u] != sh.id || local_of_global_[u] != l) {
+        return false;
+      }
+    }
+    // Ghost table: remote owner, consistent global mapping, in-range ids.
+    for (NodeId gi = 0; gi < sh.num_ghosts(); ++gi) {
+      const NodeId v = sh.global_of_local[sh.num_owned + gi];
+      if (v >= n || sh.ghost_owner[gi] == sh.id ||
+          sh.ghost_owner[gi] != owner_[v]) {
+        return false;
+      }
+    }
+  }
+  if (owned_total != n) return false;
+
+  // Every arc stored exactly once, in its source's shard, with the original
+  // weight and correctly localized target.
+  std::uint64_t arcs_total = 0;
+  for (const Shard& sh : shards_) {
+    arcs_total += sh.num_arcs();
+    for (NodeId l = 0; l < sh.num_owned; ++l) {
+      const NodeId u = sh.global_of_local[l];
+      const auto nbr = g.neighbors(u);
+      const auto wts = g.weights(u);
+      const EdgeIndex lo = sh.offsets[l];
+      if (sh.offsets[l + 1] - lo != nbr.size()) return false;
+      for (std::size_t i = 0; i < nbr.size(); ++i) {
+        const NodeId tl = sh.targets[lo + i];
+        if (tl >= sh.global_of_local.size()) return false;
+        if (sh.global_of_local[tl] != nbr[i]) return false;
+        if (sh.weights[lo + i] != wts[i]) return false;
+        if (sh.is_ghost(tl) != (owner_[nbr[i]] != sh.id)) return false;
+      }
+    }
+  }
+  return arcs_total == g.num_directed_edges();
+}
+
+}  // namespace gdiam::mr

@@ -1,0 +1,117 @@
+#pragma once
+// Graph partitioning for the BSP execution engine (mr/bsp_engine.hpp).
+//
+// A Partition splits a Graph into K *edge-complete* shards modeling the
+// paper's MR(M_T, M_L) reducers: every node is owned by exactly one shard and
+// every directed arc (u, v) is stored in exactly one shard — the owner of its
+// source u. Undirected edges therefore appear as two arcs in (up to) two
+// shards, exactly mirroring the flat CSR where each edge is stored twice.
+//
+// Each shard re-numbers the nodes it touches with contiguous *local* ids:
+//   [0, num_owned)                      — owned nodes, in ascending global id
+//   [num_owned, num_owned + num_ghosts) — ghosts: remote endpoints of owned
+//                                         arcs, ascending global id
+// so shard-local state lives in dense arrays and a message for a remote node
+// can be addressed by the destination shard's local id without a lookup on
+// the receiving side. The ghost table maps each ghost back to its global id
+// and owner shard; it is the shard's "routing table" for outgoing messages.
+//
+// Two partitioners are provided:
+//   * kHash  — owner(u) = mix64(u) mod K: destroys locality, balances node
+//     counts; the adversarial baseline for communication-volume experiments.
+//   * kRange — owner(u) = contiguous id range: preserves whatever locality
+//     the node numbering has (meshes and roads number neighbors closely),
+//     the favorable baseline.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gdiam::mr {
+
+using ShardId = std::uint32_t;
+
+enum class PartitionStrategy { kHash, kRange };
+
+struct PartitionOptions {
+  std::uint32_t num_partitions = 1;
+  PartitionStrategy strategy = PartitionStrategy::kHash;
+};
+
+/// One shard: the owned slice of the graph in CSR form over local ids.
+struct Shard {
+  ShardId id = 0;
+  /// Owned nodes; local ids [0, num_owned) map to global_of_local[0..).
+  NodeId num_owned = 0;
+  /// CSR over owned nodes only; targets_ are *local* ids (owned or ghost).
+  std::vector<EdgeIndex> offsets;  // size num_owned + 1
+  std::vector<NodeId> targets;     // local ids
+  std::vector<Weight> weights;     // aligned with targets
+  /// Local id -> global id, for owned nodes then ghosts (each ascending).
+  std::vector<NodeId> global_of_local;
+  /// Owner shard of each ghost, indexed by (local id - num_owned).
+  std::vector<ShardId> ghost_owner;
+
+  [[nodiscard]] NodeId num_ghosts() const noexcept {
+    return static_cast<NodeId>(global_of_local.size()) - num_owned;
+  }
+  [[nodiscard]] bool is_ghost(NodeId local) const noexcept {
+    return local >= num_owned;
+  }
+  [[nodiscard]] EdgeIndex num_arcs() const noexcept {
+    return offsets.empty() ? 0 : offsets.back();
+  }
+};
+
+/// Immutable owner mapping + per-shard subgraphs. Built once per graph and
+/// shared read-only by all BSP rounds (like the Graph itself).
+class Partition {
+ public:
+  /// Splits g into opts.num_partitions shards (clamped to [1, max(n, 1)]).
+  explicit Partition(const Graph& g, const PartitionOptions& opts = {});
+
+  [[nodiscard]] std::uint32_t num_partitions() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] PartitionStrategy strategy() const noexcept {
+    return strategy_;
+  }
+
+  /// Shard owning the global node u.
+  [[nodiscard]] ShardId owner(NodeId u) const noexcept { return owner_[u]; }
+
+  /// Local id of u within its owner shard.
+  [[nodiscard]] NodeId local_id(NodeId u) const noexcept {
+    return local_of_global_[u];
+  }
+
+  /// Global id of a shard-local id (owned or ghost).
+  [[nodiscard]] NodeId global_id(ShardId s, NodeId local) const noexcept {
+    return shards_[s].global_of_local[local];
+  }
+
+  [[nodiscard]] const Shard& shard(ShardId s) const noexcept {
+    return shards_[s];
+  }
+  [[nodiscard]] const std::vector<Shard>& shards() const noexcept {
+    return shards_;
+  }
+
+  /// Owned-node counts of the largest / average shard (partition skew).
+  [[nodiscard]] NodeId max_owned() const noexcept;
+  [[nodiscard]] EdgeIndex max_arcs() const noexcept;
+
+  /// Checks every structural invariant against the source graph: each node
+  /// owned exactly once, each arc stored exactly once by its source's owner,
+  /// ghost tables consistent, local ids contiguous and round-tripping.
+  [[nodiscard]] bool validate(const Graph& g) const;
+
+ private:
+  std::vector<ShardId> owner_;           // size n
+  std::vector<NodeId> local_of_global_;  // size n, id within owner shard
+  std::vector<Shard> shards_;
+  PartitionStrategy strategy_;
+};
+
+}  // namespace gdiam::mr

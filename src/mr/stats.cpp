@@ -5,16 +5,22 @@
 namespace gdiam::mr {
 
 std::string to_string(const RoundStats& s) {
-  char buf[160];
-  std::snprintf(buf, sizeof buf,
-                "rounds=%llu (relax=%llu aux=%llu) messages=%.3e "
-                "updates=%.3e work=%.3e",
-                static_cast<unsigned long long>(s.rounds()),
-                static_cast<unsigned long long>(s.relaxation_rounds),
-                static_cast<unsigned long long>(s.auxiliary_rounds),
-                static_cast<double>(s.messages),
-                static_cast<double>(s.node_updates),
-                static_cast<double>(s.work()));
+  char buf[224];
+  int len = std::snprintf(buf, sizeof buf,
+                          "rounds=%llu (relax=%llu aux=%llu) messages=%.3e "
+                          "updates=%.3e work=%.3e",
+                          static_cast<unsigned long long>(s.rounds()),
+                          static_cast<unsigned long long>(s.relaxation_rounds),
+                          static_cast<unsigned long long>(s.auxiliary_rounds),
+                          static_cast<double>(s.messages),
+                          static_cast<double>(s.node_updates),
+                          static_cast<double>(s.work()));
+  if (s.cross_messages != 0 || s.cross_bytes != 0) {
+    std::snprintf(buf + len, sizeof buf - static_cast<std::size_t>(len),
+                  " cross=%.3emsg/%.3eB",
+                  static_cast<double>(s.cross_messages),
+                  static_cast<double>(s.cross_bytes));
+  }
   return buf;
 }
 

@@ -29,6 +29,13 @@ struct RoundStats {
   std::uint64_t messages = 0;
   /// Accepted improvements of node state.
   std::uint64_t node_updates = 0;
+  /// Messages that actually crossed a partition boundary (filled only by the
+  /// partitioned BSP backends; always 0 for flat kernels and for K = 1,
+  /// where every edge is shard-internal). A cross message is also counted in
+  /// `messages` — these counters are the communication-volume view of it.
+  std::uint64_t cross_messages = 0;
+  /// Serialized payload bytes of those cross-partition messages.
+  std::uint64_t cross_bytes = 0;
 
   [[nodiscard]] std::uint64_t rounds() const noexcept {
     return relaxation_rounds + auxiliary_rounds;
@@ -44,6 +51,8 @@ struct RoundStats {
     auxiliary_rounds += other.auxiliary_rounds;
     messages += other.messages;
     node_updates += other.node_updates;
+    cross_messages += other.cross_messages;
+    cross_bytes += other.cross_bytes;
     return *this;
   }
 
@@ -55,7 +64,9 @@ struct RoundStats {
   friend bool operator==(const RoundStats&, const RoundStats&) = default;
 };
 
-/// "rounds=74 messages=4.2e+08 updates=1.1e+07 work=4.3e+08" — for logs.
+/// "rounds=74 messages=4.2e+08 updates=1.1e+07 work=4.3e+08
+///  cross=1.0e+06msg/1.6e+07B" — for logs; the cross part appears only when
+/// a partitioned backend recorded traffic.
 [[nodiscard]] std::string to_string(const RoundStats& s);
 
 }  // namespace gdiam::mr

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
+#include "mr/bsp_engine.hpp"
+#include "mr/exchange.hpp"
 #include "util/bitpack.hpp"
 #include "util/parallel.hpp"
 
@@ -59,6 +62,16 @@ class Buckets {
 
 enum class EdgeKind { kLight, kHeavy };
 
+/// One cross-shard relaxation request: "lower dist of your node `target`
+/// (destination-local id) to the order-encoded distance `bits`". Packed so
+/// the exchange's sizeof-based byte accounting reports the 12 serialized
+/// bytes, not 16 with padding.
+struct [[gnu::packed]] DistProposal {
+  NodeId target = 0;
+  std::uint64_t bits = 0;
+};
+static_assert(sizeof(DistProposal) == 12);
+
 }  // namespace
 
 DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
@@ -90,13 +103,34 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
   util::ThreadBuffers<NodeId> improved;
   std::vector<std::uint8_t> in_improved(n, 0);
 
+  // Partitioned BSP backend (opts.partition.num_partitions > 1): relaxation
+  // phases run as supersteps on K shards instead of one flat loop.
+  std::unique_ptr<mr::Partition> part;
+  std::unique_ptr<mr::BspEngine> bsp;
+  mr::Exchange<DistProposal> exchange;
+  // Per-phase staging for relax_bsp, hoisted like `improved`/`in_improved`
+  // so steady-state phases allocate nothing.
+  std::vector<std::vector<std::pair<NodeId, Weight>>> by_shard;
+  std::vector<std::uint64_t> shard_messages, shard_updates;
+  std::vector<std::vector<NodeId>> shard_improved;
+  if (opts.partition.num_partitions > 1 && n > 0) {
+    part = std::make_unique<mr::Partition>(g, opts.partition);
+    bsp = std::make_unique<mr::BspEngine>(*part);
+    const std::uint32_t k = part->num_partitions();
+    exchange.resize(k);
+    by_shard.resize(k);
+    shard_messages.resize(k);
+    shard_updates.resize(k);
+    shard_improved.resize(k);
+    out.partitions_used = k;
+  }
+
   // Relax `kind` edges out of `frontier` (distance snapshots taken at phase
   // start, so the phase is one synchronous round and all counters are
   // independent of thread interleaving); returns the distinct nodes whose
   // tentative distance improved.
-  auto relax = [&](const std::vector<std::pair<NodeId, Weight>>& frontier,
-                   EdgeKind kind) {
-    out.stats.relaxation_rounds++;
+  auto relax_flat = [&](const std::vector<std::pair<NodeId, Weight>>& frontier,
+                        EdgeKind kind) {
     std::uint64_t messages = 0, updates = 0;
 #pragma omp parallel for schedule(dynamic, 64) reduction(+ : messages, updates)
     for (std::size_t f = 0; f < frontier.size(); ++f) {
@@ -123,6 +157,84 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
     auto changed = improved.gather();
     for (const NodeId v : changed) in_improved[v] = 0;
     return changed;
+  };
+
+  // Same phase as one BSP superstep: each shard relaxes the frontier nodes
+  // it owns over its own CSR, lowers owned targets directly (it is the only
+  // writer of their dist slots, so no atomics are needed) and ships ghost
+  // targets through the exchange; the apply phase folds inboxes the same
+  // way. The per-phase min-reduction fixpoint — and hence every distance and
+  // counter — is identical to relax_flat.
+  auto relax_bsp = [&](const std::vector<std::pair<NodeId, Weight>>& frontier,
+                       EdgeKind kind) {
+    const std::uint32_t k = part->num_partitions();
+    for (std::uint32_t s = 0; s < k; ++s) {
+      by_shard[s].clear();
+      shard_messages[s] = 0;
+      shard_updates[s] = 0;
+      shard_improved[s].clear();
+    }
+    for (const auto& e : frontier) by_shard[part->owner(e.first)].push_back(e);
+
+    // Lower the owned node v to `nd`; single-writer per shard, no atomics.
+    auto lower = [&](mr::ShardId s, NodeId v, std::uint64_t nd) {
+      if (nd < dist_bits[v]) {
+        dist_bits[v] = nd;
+        if (in_improved[v] == 0) {
+          in_improved[v] = 1;
+          shard_updates[s]++;
+          shard_improved[s].push_back(v);
+        }
+      }
+    };
+
+    auto compute = [&](const mr::Shard& sh, mr::Exchange<DistProposal>& ex) {
+      std::uint64_t messages = 0;
+      for (const auto& [u, du] : by_shard[sh.id]) {
+        const NodeId l = part->local_id(u);
+        const EdgeIndex lo = sh.offsets[l];
+        const EdgeIndex hi = sh.offsets[l + 1];
+        for (EdgeIndex i = lo; i < hi; ++i) {
+          const Weight w = sh.weights[i];
+          if ((kind == EdgeKind::kLight) != (w <= delta)) continue;
+          ++messages;
+          const std::uint64_t nd = util::double_order_bits(du + w);
+          const NodeId tl = sh.targets[i];
+          const NodeId v = sh.global_of_local[tl];
+          if (!sh.is_ghost(tl)) {
+            lower(sh.id, v, nd);
+          } else {
+            ex.send(sh.id, sh.ghost_owner[tl - sh.num_owned],
+                    DistProposal{part->local_id(v), nd});
+          }
+        }
+      }
+      shard_messages[sh.id] = messages;
+    };
+    auto apply = [&](const mr::Shard& sh,
+                     std::span<const DistProposal> inbox) {
+      for (const DistProposal& m : inbox) {
+        lower(sh.id, sh.global_of_local[m.target], m.bits);
+      }
+    };
+    bsp->superstep(exchange, compute, apply, &out.stats);
+
+    std::vector<NodeId> changed;
+    for (std::uint32_t s = 0; s < k; ++s) {
+      out.stats.messages += shard_messages[s];
+      out.stats.node_updates += shard_updates[s];
+      changed.insert(changed.end(), shard_improved[s].begin(),
+                     shard_improved[s].end());
+    }
+    for (const NodeId v : changed) in_improved[v] = 0;
+    return changed;
+  };
+
+  auto relax = [&](const std::vector<std::pair<NodeId, Weight>>& frontier,
+                   EdgeKind kind) {
+    out.stats.relaxation_rounds++;
+    return part != nullptr ? relax_bsp(frontier, kind)
+                           : relax_flat(frontier, kind);
   };
   auto snapshot = [&](const std::vector<NodeId>& nodes) {
     std::vector<std::pair<NodeId, Weight>> snap;

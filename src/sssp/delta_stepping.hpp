@@ -15,10 +15,18 @@
 // one relaxation round, each bucket-selection scan as one auxiliary round;
 // messages = relaxation requests, node updates = accepted improvements.
 
+// With partition.num_partitions > 1 every relaxation phase runs as one BSP
+// superstep on K shards (mr/bsp_engine.hpp): shard-internal relaxations are
+// applied locally, cross-shard ones travel through the typed exchange, and
+// the stats additionally report the cross-partition messages/bytes a real
+// MR shuffle would pay. Distances are identical to the flat kernel (same
+// min-reduction fixpoint per phase).
+
 #include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "mr/partition.hpp"
 #include "mr/stats.hpp"
 
 namespace gdiam::sssp {
@@ -28,6 +36,9 @@ struct DeltaSteppingOptions {
   Weight delta = 0.0;
   /// Cap on light-phase iterations per bucket (safety valve; 0 = unlimited).
   std::uint64_t max_phases_per_bucket = 0;
+  /// Shard layout for the partitioned BSP backend; num_partitions <= 1
+  /// selects the flat shared-memory kernel.
+  mr::PartitionOptions partition;
 };
 
 struct DeltaSteppingResult {
@@ -37,6 +48,8 @@ struct DeltaSteppingResult {
   Weight eccentricity = 0.0;
   Weight delta_used = 0.0;
   std::uint64_t buckets_processed = 0;
+  /// Shards the run executed on (1 = flat shared-memory kernel).
+  std::uint32_t partitions_used = 1;
 };
 
 /// Parallel Δ-stepping from `source`. Distances are exact (same relaxation

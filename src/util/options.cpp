@@ -1,5 +1,6 @@
 #include "util/options.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace gdiam::util {
@@ -39,6 +40,16 @@ std::int64_t Options::get_int(const std::string& name,
   const auto it = flags_.find(name);
   if (it == flags_.end() || it->second.empty()) return fallback;
   return std::stoll(it->second);
+}
+
+std::uint32_t Options::get_uint32(const std::string& name,
+                                  std::uint32_t fallback) const {
+  const std::int64_t v = get_int(name, static_cast<std::int64_t>(fallback));
+  if (v < 0 || v > static_cast<std::int64_t>(
+                      std::numeric_limits<std::uint32_t>::max())) {
+    throw std::invalid_argument("flag --" + name + " out of range");
+  }
+  return static_cast<std::uint32_t>(v);
 }
 
 double Options::get_double(const std::string& name, double fallback) const {

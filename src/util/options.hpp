@@ -27,6 +27,11 @@ class Options {
                                        std::string fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
+  /// get_int narrowed to u32 with a range check — for count-like flags such
+  /// as --partitions; throws std::invalid_argument on negative or oversized
+  /// values instead of silently truncating.
+  [[nodiscard]] std::uint32_t get_uint32(const std::string& name,
+                                         std::uint32_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;

@@ -1,0 +1,273 @@
+// Tests for the BSP substrate: mr/partition.hpp (shard invariants),
+// mr/exchange.hpp (deterministic delivery + traffic accounting) and
+// mr/bsp_engine.hpp (superstep semantics).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "mr/bsp_engine.hpp"
+#include "mr/exchange.hpp"
+#include "mr/partition.hpp"
+#include "test_helpers.hpp"
+
+namespace gdiam::mr {
+namespace {
+
+using test::Family;
+
+PartitionOptions hash_opts(std::uint32_t k) {
+  return {.num_partitions = k, .strategy = PartitionStrategy::kHash};
+}
+PartitionOptions range_opts(std::uint32_t k) {
+  return {.num_partitions = k, .strategy = PartitionStrategy::kRange};
+}
+
+// ---------------------------------------------------------------------------
+// Partition invariants
+
+class PartitionInvariants
+    : public testing::TestWithParam<std::tuple<Family, std::uint32_t>> {};
+
+TEST_P(PartitionInvariants, ValidatesOnEveryFamily) {
+  const auto [family, k] = GetParam();
+  const Graph g = test::make_family(family, 150, 42);
+  for (const auto& opts : {hash_opts(k), range_opts(k)}) {
+    const Partition p(g, opts);
+    EXPECT_LE(p.num_partitions(), std::max<std::uint32_t>(1, k));
+    EXPECT_TRUE(p.validate(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PartitionInvariants,
+    testing::Combine(testing::ValuesIn(test::all_families()),
+                     testing::Values(1u, 2u, 7u, 16u)),
+    [](const auto& info) {
+      return std::string(test::family_name(std::get<0>(info.param))) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Partition, EveryNodeOwnedExactlyOnce) {
+  const Graph g = test::make_family(Family::kMeshUniform, 100, 1);
+  const Partition p(g, hash_opts(5));
+  std::vector<int> seen(g.num_nodes(), 0);
+  for (const Shard& sh : p.shards()) {
+    for (NodeId l = 0; l < sh.num_owned; ++l) {
+      seen[sh.global_of_local[l]]++;
+    }
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(seen[u], 1) << "node " << u;
+  }
+}
+
+TEST(Partition, EveryArcAssignedExactlyOnceWithOriginalWeight) {
+  const Graph g = test::make_family(Family::kGnmUniform, 120, 9);
+  const Partition p(g, hash_opts(4));
+  // Reconstruct the full arc multiset from the shards.
+  std::map<std::pair<NodeId, NodeId>, std::vector<Weight>> shard_arcs;
+  std::uint64_t total = 0;
+  for (const Shard& sh : p.shards()) {
+    for (NodeId l = 0; l < sh.num_owned; ++l) {
+      const NodeId u = sh.global_of_local[l];
+      EXPECT_EQ(p.owner(u), sh.id);  // arcs live with their source's owner
+      for (EdgeIndex i = sh.offsets[l]; i < sh.offsets[l + 1]; ++i) {
+        shard_arcs[{u, sh.global_of_local[sh.targets[i]]}].push_back(
+            sh.weights[i]);
+        ++total;
+      }
+    }
+  }
+  EXPECT_EQ(total, g.num_directed_edges());
+  std::map<std::pair<NodeId, NodeId>, std::vector<Weight>> graph_arcs;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbr = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      graph_arcs[{u, nbr[i]}].push_back(wts[i]);
+    }
+  }
+  for (auto& [arc, wts] : shard_arcs) std::sort(wts.begin(), wts.end());
+  for (auto& [arc, wts] : graph_arcs) std::sort(wts.begin(), wts.end());
+  EXPECT_EQ(shard_arcs, graph_arcs);
+}
+
+TEST(Partition, GhostTablesConsistent) {
+  const Graph g = test::make_family(Family::kRmatGiant, 200, 3);
+  const Partition p(g, hash_opts(7));
+  for (const Shard& sh : p.shards()) {
+    for (NodeId gi = 0; gi < sh.num_ghosts(); ++gi) {
+      const NodeId global = sh.global_of_local[sh.num_owned + gi];
+      // A ghost is never owned by the shard it haunts, and its recorded
+      // owner matches the global owner map.
+      EXPECT_NE(sh.ghost_owner[gi], sh.id);
+      EXPECT_EQ(sh.ghost_owner[gi], p.owner(global));
+      // ...and the owner really owns it, with a round-tripping local id.
+      const Shard& home = p.shard(sh.ghost_owner[gi]);
+      const NodeId home_local = p.local_id(global);
+      ASSERT_LT(home_local, home.num_owned);
+      EXPECT_EQ(home.global_of_local[home_local], global);
+    }
+  }
+}
+
+TEST(Partition, LocalGlobalIdsRoundTrip) {
+  const Graph g = test::make_family(Family::kTreePlusChords, 90, 5);
+  const Partition p(g, range_opts(6));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const ShardId s = p.owner(u);
+    const NodeId l = p.local_id(u);
+    ASSERT_LT(l, p.shard(s).num_owned);
+    EXPECT_EQ(p.global_id(s, l), u);
+  }
+}
+
+TEST(Partition, SingleShardHasNoGhosts) {
+  const Graph g = test::make_family(Family::kMeshUniform, 64, 2);
+  const Partition p(g, hash_opts(1));
+  ASSERT_EQ(p.num_partitions(), 1u);
+  EXPECT_EQ(p.shard(0).num_ghosts(), 0u);
+  EXPECT_EQ(p.shard(0).num_owned, g.num_nodes());
+  EXPECT_EQ(p.shard(0).num_arcs(), g.num_directed_edges());
+}
+
+TEST(Partition, ClampsShardCountToNodeCount) {
+  const Graph g = gen::path(3);
+  const Partition p(g, hash_opts(64));
+  EXPECT_LE(p.num_partitions(), 3u);
+  EXPECT_TRUE(p.validate(g));
+}
+
+TEST(Partition, RangeStrategyOwnsContiguousBalancedRanges) {
+  const Graph g = gen::path(100);
+  const Partition p(g, range_opts(4));
+  ASSERT_EQ(p.num_partitions(), 4u);
+  for (NodeId u = 1; u < 100; ++u) {
+    EXPECT_LE(p.owner(u - 1), p.owner(u));  // monotone => contiguous
+  }
+  for (const Shard& sh : p.shards()) EXPECT_EQ(sh.num_owned, 25u);
+}
+
+TEST(Partition, DescribeMentionsShardCountAndStrategy) {
+  const Graph g = gen::path(20);
+  const Partition p(g, range_opts(4));
+  const std::string d = describe(p);
+  EXPECT_NE(d.find("K=4"), std::string::npos);
+  EXPECT_NE(d.find("range"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Exchange
+
+TEST(Exchange, DeliversInSourceShardOrder) {
+  Exchange<int> ex(3);
+  // Stage out of source order on purpose.
+  ex.send(2, 0, 20);
+  ex.send(0, 0, 1);
+  ex.send(1, 0, 10);
+  ex.send(0, 0, 2);
+  const ExchangeCounters c = ex.seal();
+  const auto inbox = ex.inbox(0);
+  ASSERT_EQ(inbox.size(), 4u);
+  // From shard 0 first (in staging order), then 1, then 2.
+  EXPECT_EQ(inbox[0], 1);
+  EXPECT_EQ(inbox[1], 2);
+  EXPECT_EQ(inbox[2], 10);
+  EXPECT_EQ(inbox[3], 20);
+  EXPECT_EQ(c.messages, 4u);
+  EXPECT_EQ(c.bytes, 4u * sizeof(int));
+}
+
+TEST(Exchange, CountsCrossVersusLocalTraffic) {
+  Exchange<std::uint64_t> ex(2);
+  ex.send(0, 0, 1);  // shard-internal
+  ex.send(0, 1, 2);  // cross
+  ex.send(1, 0, 3);  // cross
+  const ExchangeCounters c = ex.seal();
+  EXPECT_EQ(c.messages, 3u);
+  EXPECT_EQ(c.cross_messages, 2u);
+  EXPECT_EQ(c.bytes, 3u * sizeof(std::uint64_t));
+  EXPECT_EQ(c.cross_bytes, 2u * sizeof(std::uint64_t));
+}
+
+TEST(Exchange, ClearReadiesNextSuperstep) {
+  Exchange<int> ex(2);
+  ex.send(0, 1, 7);
+  (void)ex.seal();
+  EXPECT_TRUE(ex.sealed());
+  ex.clear();
+  EXPECT_FALSE(ex.sealed());
+  EXPECT_EQ(ex.staged(), 0u);
+  const ExchangeCounters c = ex.seal();
+  EXPECT_EQ(c.messages, 0u);
+  EXPECT_TRUE(ex.inbox(1).empty());
+}
+
+TEST(Exchange, RecordExchangeFillsRoundStatsCrossCounters) {
+  RoundStats stats;
+  ExchangeCounters c;
+  c.messages = 10;
+  c.bytes = 100;
+  c.cross_messages = 4;
+  c.cross_bytes = 40;
+  record_exchange(stats, c);
+  EXPECT_EQ(stats.cross_messages, 4u);
+  EXPECT_EQ(stats.cross_bytes, 40u);
+  // Shard-internal traffic never reaches the wire counters.
+  EXPECT_EQ(stats.messages, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BspEngine
+
+TEST(BspEngine, SuperstepComputesExchangesApplies) {
+  // Each shard sends its owned-node count to every other shard; after the
+  // superstep every shard knows the total node count.
+  const Graph g = gen::path(30);
+  const Partition p(g, hash_opts(3));
+  BspEngine engine(p);
+  Exchange<NodeId> ex(p.num_partitions());
+
+  std::vector<NodeId> known(p.num_partitions(), 0);
+  const ExchangeCounters c = engine.superstep(
+      ex,
+      [&](const Shard& sh, Exchange<NodeId>& out) {
+        known[sh.id] = sh.num_owned;
+        for (ShardId to = 0; to < p.num_partitions(); ++to) {
+          if (to != sh.id) out.send(sh.id, to, sh.num_owned);
+        }
+      },
+      [&](const Shard& sh, std::span<const NodeId> inbox) {
+        for (const NodeId counted : inbox) known[sh.id] += counted;
+      });
+
+  for (ShardId s = 0; s < p.num_partitions(); ++s) {
+    EXPECT_EQ(known[s], g.num_nodes()) << "shard " << s;
+  }
+  EXPECT_EQ(engine.supersteps(), 1u);
+  EXPECT_EQ(c.cross_messages,
+            std::uint64_t{p.num_partitions()} * (p.num_partitions() - 1));
+}
+
+TEST(BspEngine, RecordsCrossTrafficIntoRoundStats) {
+  const Graph g = gen::path(20);
+  const Partition p(g, range_opts(4));
+  BspEngine engine(p);
+  Exchange<std::uint32_t> ex(p.num_partitions());
+  RoundStats stats;
+  engine.superstep(
+      ex,
+      [&](const Shard& sh, Exchange<std::uint32_t>& out) {
+        // Ring: each shard pings its successor.
+        out.send(sh.id, (sh.id + 1) % p.num_partitions(), sh.id);
+      },
+      [](const Shard&, std::span<const std::uint32_t>) {}, &stats);
+  EXPECT_EQ(stats.cross_messages, 4u);
+  EXPECT_EQ(stats.cross_bytes, 4u * sizeof(std::uint32_t));
+}
+
+}  // namespace
+}  // namespace gdiam::mr

@@ -54,6 +54,33 @@ TEST(RoundStats, EqualityComparesAllFields) {
   EXPECT_NE(a, b);
 }
 
+TEST(RoundStats, CrossCountersAccumulateAndCompare) {
+  RoundStats a;
+  a.cross_messages = 3;
+  a.cross_bytes = 48;
+  RoundStats b;
+  b.cross_messages = 2;
+  b.cross_bytes = 32;
+  a += b;
+  EXPECT_EQ(a.cross_messages, 5u);
+  EXPECT_EQ(a.cross_bytes, 80u);
+  // Cross traffic is a communication-volume view, not extra work.
+  EXPECT_EQ(a.work(), 0u);
+  RoundStats c, d;
+  d.cross_bytes = 1;
+  EXPECT_NE(c, d);
+}
+
+TEST(RoundStats, ToStringShowsCrossTrafficOnlyWhenPresent) {
+  RoundStats s;
+  s.messages = 10;
+  EXPECT_EQ(to_string(s).find("cross"), std::string::npos);
+  s.cross_messages = 4;
+  s.cross_bytes = 64;
+  const std::string str = to_string(s);
+  EXPECT_NE(str.find("cross=4.000e+00msg/6.400e+01B"), std::string::npos);
+}
+
 TEST(RoundStats, ToStringMentionsAllCounters) {
   RoundStats s;
   s.relaxation_rounds = 7;

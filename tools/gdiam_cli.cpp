@@ -36,10 +36,15 @@ commands:
            [--weights unit|uniform|int|bimodal] [--seed S]
   stats    FILE [--sweeps K]
   estimate FILE [--tau T] [--seed S] [--cluster2] [--classic] [--pull]
+           [--partitions K] [--range-partition]
   decompose FILE --out CLUSTERING.gdcl [--tau T] [--seed S]
             [--quotient QUOTIENT_GRAPH_FILE]
-  sssp     FILE [--source U] [--delta D]
+  sssp     FILE [--source U] [--delta D] [--partitions K] [--range-partition]
   convert  IN OUT
+
+--partitions K > 1 runs the kernels on the sharded BSP engine (K shards,
+hash partitioner unless --range-partition) and reports the cross-partition
+communication volume alongside rounds and work.
 )");
   std::exit(error == nullptr ? 0 : 2);
 }
@@ -60,6 +65,17 @@ void store(const Graph& g, const std::string& path) {
     if (!f) throw std::runtime_error("cannot open " + path);
     io::write_edge_list(g, f);
   }
+}
+
+/// Shared --partitions / --range-partition parsing for estimate and sssp.
+mr::PartitionOptions parse_partition(const util::Options& o) {
+  mr::PartitionOptions p;
+  p.num_partitions = o.get_uint32("partitions", 1);
+  if (p.num_partitions == 0) usage("--partitions must be >= 1");
+  p.strategy = o.get_bool("range-partition", false)
+                   ? mr::PartitionStrategy::kRange
+                   : mr::PartitionStrategy::kHash;
+  return p;
 }
 
 Graph apply_weights(const Graph& g, const std::string& kind,
@@ -144,6 +160,13 @@ int cmd_estimate(const util::Options& o) {
   if (o.get_bool("pull", false)) {
     opt.cluster.policy = core::GrowingPolicy::kPull;
   }
+  opt.cluster.partition = parse_partition(o);
+  if (opt.cluster.partition.num_partitions > 1) {
+    if (o.get_bool("pull", false)) {
+      usage("--pull and --partitions K>1 select conflicting engines");
+    }
+    opt.cluster.policy = core::GrowingPolicy::kPartitioned;
+  }
   util::Timer t;
   const auto r = core::approximate_diameter(g, opt);
   std::printf("estimate:      %.6g%s\n", r.estimate,
@@ -191,9 +214,11 @@ int cmd_sssp(const util::Options& o) {
   const auto source = static_cast<NodeId>(o.get_int("source", 0));
   sssp::DeltaSteppingOptions opt;
   opt.delta = o.get_double("delta", 0.0);
+  opt.partition = parse_partition(o);
   util::Timer t;
   const auto r = sssp::delta_stepping(g, source, opt);
-  std::printf("source:        %u (Delta=%g)\n", source, r.delta_used);
+  std::printf("source:        %u (Delta=%g, partitions=%u)\n", source,
+              r.delta_used, r.partitions_used);
   std::printf("eccentricity:  %.6g (farthest node %u)\n", r.eccentricity,
               r.farthest);
   std::printf("2-approx diam: %.6g\n", 2.0 * r.eccentricity);
