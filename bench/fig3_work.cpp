@@ -6,7 +6,9 @@
 #include <iostream>
 
 #include "comparison_common.hpp"
+#include "report.hpp"
 #include "util/options.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 using namespace gdiam;
@@ -37,6 +39,28 @@ int main(int argc, char** argv) {
         .sci(static_cast<double>(r.ds_stats.node_updates), 2);
   }
   table.print(std::cout);
+
+  bench::JsonReport report("fig3_work");
+  report.put("threads", util::num_threads());
+  report.put("scale", util::scale_name(scale));
+  for (const auto& r : rows) {
+    report.add_row()
+        .put("graph", r.name)
+        .put("nodes", static_cast<std::uint64_t>(r.nodes))
+        .put("edges", r.edges)
+        .put("cl_seconds", r.cl_seconds)
+        .put("ds_seconds", r.ds_seconds)
+        .put("ds_delta", r.ds_delta)
+        .put("cl_messages", r.cl_stats.messages)
+        .put("ds_messages", r.ds_stats.messages)
+        .put("cl_updates", r.cl_stats.node_updates)
+        .put("ds_updates", r.ds_stats.node_updates)
+        .put("cl_work", r.cl_stats.work())
+        .put("ds_work", r.ds_stats.work())
+        .put("cl_rounds", r.cl_stats.rounds())
+        .put("ds_rounds", r.ds_stats.rounds());
+  }
+  report.write();
 
   std::printf(
       "\nexpected shape (paper, Fig. 3): CL-DIAM performs less work on every\n"

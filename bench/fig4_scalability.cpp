@@ -9,6 +9,7 @@
 
 #include "comparison_common.hpp"
 #include "core/diameter.hpp"
+#include "report.hpp"
 #include "gen/product.hpp"
 #include "gen/rmat.hpp"
 #include "gen/road.hpp"
@@ -69,6 +70,14 @@ int main(int argc, char** argv) {
   if (threads.empty() || threads.back() != max_threads) {
     threads.push_back(max_threads);
   }
+  bench::JsonReport report("fig4_scalability");
+  report.put("scale", util::scale_name(scale));
+  report.put("max_threads", max_threads);
+  report.put("rmat_nodes", static_cast<std::uint64_t>(rmat_g.num_nodes()));
+  report.put("rmat_edges", rmat_g.num_edges());
+  report.put("roads_nodes", static_cast<std::uint64_t>(roads_g.num_nodes()));
+  report.put("roads_edges", roads_g.num_edges());
+
   const int prev = util::num_threads();
   for (const int t : threads) {
     util::set_num_threads(t);
@@ -85,10 +94,17 @@ int main(int argc, char** argv) {
         .num(rmat_t1 / rt, 2)
         .cell(util::format_duration(dt))
         .num(roads_t1 / dt, 2);
+    report.add_row()
+        .put("threads", t)
+        .put("rmat_seconds", rt)
+        .put("rmat_speedup", rmat_t1 / rt)
+        .put("roads_seconds", dt)
+        .put("roads_speedup", roads_t1 / dt);
   }
   util::set_num_threads(prev);
 
   table.print(std::cout);
+  report.write();
   std::printf(
       "\nexpected shape (paper, Fig. 4): time decreases as parallelism\n"
       "grows for both topologies (speedup > 1 beyond one thread; perfect\n"

@@ -12,8 +12,12 @@
 #include "gen/road.hpp"
 #include "gen/weights.hpp"
 #include "graph/components.hpp"
+#include "graph/split_csr.hpp"
+#include "report.hpp"
 #include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
+#include "util/bitpack.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -41,6 +45,80 @@ const Graph& road_graph() {
   }();
   return g;
 }
+
+// ---------------------------------------------------------------------------
+// Split-vs-branch A/B for the light-relaxation inner loop — the tentpole of
+// the split-CSR layout, measured in isolation. Both variants perform the
+// same per-light-edge work (message count + tentative atomic min against a
+// settled distance array, like a steady-state Δ-stepping phase); the only
+// difference is the iteration pattern: branch-filtering the full adjacency
+// vs walking the presplit light segment.
+
+Weight relax_delta() { return rmat_graph().avg_weight(); }
+
+void BM_RelaxLightBranch(benchmark::State& state) {
+  const Graph& g = rmat_graph();
+  const Weight delta = relax_delta();
+  const NodeId n = g.num_nodes();
+  // dist = 0 everywhere: no relaxation ever wins, so every iteration scans
+  // the same edges and does the same compare work (steady state).
+  std::vector<std::uint64_t> dist(n, util::double_order_bits(0.0));
+  for (auto _ : state) {
+    std::uint64_t messages = 0;
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : messages)
+    for (NodeId u = 0; u < n; ++u) {
+      const auto nbr = g.neighbors(u);
+      const auto wts = g.weights(u);
+      for (std::size_t i = 0; i < nbr.size(); ++i) {
+        const Weight w = wts[i];
+        if (!(w <= delta)) continue;  // the per-edge kind branch
+        ++messages;
+        (void)util::atomic_fetch_min(dist[nbr[i]],
+                                     util::double_order_bits(w));
+      }
+    }
+    benchmark::DoNotOptimize(messages);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_directed_edges()));
+}
+BENCHMARK(BM_RelaxLightBranch)->Unit(benchmark::kMillisecond);
+
+void BM_RelaxLightSplit(benchmark::State& state) {
+  const Graph& g = rmat_graph();
+  static const SplitCsr split(rmat_graph(), relax_delta());
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint64_t> dist(n, util::double_order_bits(0.0));
+  for (auto _ : state) {
+    std::uint64_t messages = 0;
+#pragma omp parallel for schedule(dynamic, 64) reduction(+ : messages)
+    for (NodeId u = 0; u < n; ++u) {
+      const auto nbr = split.light_neighbors(u);
+      const auto wts = split.light_weights(u);
+      for (std::size_t i = 0; i < nbr.size(); ++i) {
+        ++messages;
+        (void)util::atomic_fetch_min(dist[nbr[i]],
+                                     util::double_order_bits(wts[i]));
+      }
+    }
+    benchmark::DoNotOptimize(messages);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_directed_edges()));
+}
+BENCHMARK(BM_RelaxLightSplit)->Unit(benchmark::kMillisecond);
+
+// End-to-end view of the same choice: whole Δ-stepping runs with the
+// presplit layout on vs off.
+void BM_DeltaSteppingPresplitOff(benchmark::State& state) {
+  const Graph& g = rmat_graph();
+  sssp::DeltaSteppingOptions o;
+  o.presplit = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::delta_stepping(g, 0, o));
+  }
+}
+BENCHMARK(BM_DeltaSteppingPresplitOff)->Unit(benchmark::kMillisecond);
 
 void BM_GrowingStepPush(benchmark::State& state) {
   const Graph& g = mesh_graph();
@@ -147,6 +225,70 @@ void BM_RoadGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_RoadGeneration)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// BENCH_micro_kernels.json trajectory: the console output stays untouched,
+// but every run is also captured into a JSON row, and the headline
+// split-vs-branch speedup is computed at the end.
+
+class TrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Measured {
+    std::string name;
+    double real_time = 0.0;  // in the run's time unit
+    double cpu_time = 0.0;
+    std::int64_t iterations = 0;
+    std::string time_unit;
+  };
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& r : report) {
+      runs.push_back(Measured{r.benchmark_name(), r.GetAdjustedRealTime(),
+                              r.GetAdjustedCPUTime(),
+                              static_cast<std::int64_t>(r.iterations),
+                              benchmark::GetTimeUnitString(r.time_unit)});
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  std::vector<Measured> runs;
+};
+
+double real_time_of(const std::vector<TrajectoryReporter::Measured>& runs,
+                    const std::string& name) {
+  for (const auto& r : runs) {
+    if (r.name == name) return r.real_time;
+  }
+  return 0.0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  TrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  bench::JsonReport report("micro_kernels");
+  report.put("threads", util::num_threads());
+  report.put("relax_graph_nodes", static_cast<std::uint64_t>(
+                                      rmat_graph().num_nodes()));
+  report.put("relax_graph_arcs", rmat_graph().num_directed_edges());
+  report.put("relax_delta", relax_delta());
+  const double branch = real_time_of(reporter.runs, "BM_RelaxLightBranch");
+  const double split = real_time_of(reporter.runs, "BM_RelaxLightSplit");
+  if (branch > 0.0 && split > 0.0) {
+    report.put("relax_light_split_speedup", branch / split);
+  }
+  for (const auto& r : reporter.runs) {
+    report.add_row()
+        .put("name", r.name)
+        .put("real_time", r.real_time)
+        .put("cpu_time", r.cpu_time)
+        .put("time_unit", r.time_unit)
+        .put("iterations", static_cast<std::int64_t>(r.iterations));
+  }
+  report.write();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,161 @@
+#include "report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace gdiam::bench {
+
+namespace {
+
+std::string encode_string(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+// One encoder per scalar type, shared by the top-level and row put()
+// overloads so both levels can never diverge in encoding.
+std::string encode_value(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+std::string encode_value(std::uint64_t v) { return std::to_string(v); }
+std::string encode_value(std::int64_t v) { return std::to_string(v); }
+std::string encode_value(int v) { return std::to_string(v); }
+std::string encode_value(bool v) { return v ? "true" : "false"; }
+std::string encode_value(const std::string& v) { return encode_string(v); }
+
+std::string encode_object(
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) out += ", ";
+    first = false;
+    out += encode_string(key);
+    out += ": ";
+    out += value;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+JsonReport::JsonReport(std::string name) : name_(std::move(name)) {}
+
+JsonReport::Row& JsonReport::Row::put(const std::string& key, double v) {
+  fields_.emplace_back(key, encode_value(v));
+  return *this;
+}
+JsonReport::Row& JsonReport::Row::put(const std::string& key,
+                                      std::uint64_t v) {
+  fields_.emplace_back(key, encode_value(v));
+  return *this;
+}
+JsonReport::Row& JsonReport::Row::put(const std::string& key, std::int64_t v) {
+  fields_.emplace_back(key, encode_value(v));
+  return *this;
+}
+JsonReport::Row& JsonReport::Row::put(const std::string& key, int v) {
+  fields_.emplace_back(key, encode_value(v));
+  return *this;
+}
+JsonReport::Row& JsonReport::Row::put(const std::string& key, bool v) {
+  fields_.emplace_back(key, encode_value(v));
+  return *this;
+}
+JsonReport::Row& JsonReport::Row::put(const std::string& key,
+                                      const std::string& v) {
+  fields_.emplace_back(key, encode_value(v));
+  return *this;
+}
+JsonReport::Row& JsonReport::Row::put(const std::string& key, const char* v) {
+  return put(key, std::string(v));
+}
+
+JsonReport& JsonReport::put(const std::string& key, double v) {
+  fields_.emplace_back(key, encode_value(v));
+  return *this;
+}
+JsonReport& JsonReport::put(const std::string& key, std::uint64_t v) {
+  fields_.emplace_back(key, encode_value(v));
+  return *this;
+}
+JsonReport& JsonReport::put(const std::string& key, std::int64_t v) {
+  fields_.emplace_back(key, encode_value(v));
+  return *this;
+}
+JsonReport& JsonReport::put(const std::string& key, int v) {
+  fields_.emplace_back(key, encode_value(v));
+  return *this;
+}
+JsonReport& JsonReport::put(const std::string& key, bool v) {
+  fields_.emplace_back(key, encode_value(v));
+  return *this;
+}
+JsonReport& JsonReport::put(const std::string& key, const std::string& v) {
+  fields_.emplace_back(key, encode_value(v));
+  return *this;
+}
+JsonReport& JsonReport::put(const std::string& key, const char* v) {
+  return put(key, std::string(v));
+}
+
+JsonReport::Row& JsonReport::add_row() { return rows_.emplace_back(); }
+
+std::string JsonReport::to_json() const {
+  std::string out = "{\n";
+  out += "  " + encode_string("bench") + ": " + encode_string(name_);
+  for (const auto& [key, value] : fields_) {
+    out += ",\n  " + encode_string(key) + ": " + value;
+  }
+  out += ",\n  \"rows\": [";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += encode_object(rows_[i].fields_);
+  }
+  out += rows_.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string JsonReport::write() const {
+  const char* dir = std::getenv("GDIAM_BENCH_DIR");
+  std::string path = dir != nullptr && *dir != '\0' ? std::string(dir) + "/"
+                                                    : std::string();
+  path += "BENCH_" + name_ + ".json";
+  std::ofstream f(path);
+  if (f) f << to_json();
+  if (!f) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return "";
+  }
+  std::fprintf(stderr, "  [report] wrote %s\n", path.c_str());
+  return path;
+}
+
+}  // namespace gdiam::bench

@@ -1,0 +1,68 @@
+#pragma once
+// Machine-readable benchmark trajectories.
+//
+// Every bench that measures something worth regressing against writes a
+// `BENCH_<name>.json` file next to its stdout tables: top-level metadata
+// (threads, scale, Δ, …) plus an array of row objects mirroring the printed
+// table. Future PRs diff these files against their own runs instead of
+// scraping stdout; CI uploads them as artifacts so the perf trajectory of
+// the repo is recorded per commit.
+//
+// The emitter is deliberately tiny — ordered key/value pairs, one level of
+// rows, scalars only — not a general JSON library.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gdiam::bench {
+
+/// One BENCH_<name>.json document: ordered scalar fields plus a "rows"
+/// array of ordered scalar objects.
+class JsonReport {
+ public:
+  /// `name` becomes the file stem: BENCH_<name>.json.
+  explicit JsonReport(std::string name);
+
+  class Row {
+   public:
+    Row& put(const std::string& key, double v);
+    Row& put(const std::string& key, std::uint64_t v);
+    Row& put(const std::string& key, std::int64_t v);
+    Row& put(const std::string& key, int v);
+    Row& put(const std::string& key, bool v);
+    Row& put(const std::string& key, const std::string& v);
+    Row& put(const std::string& key, const char* v);
+
+   private:
+    friend class JsonReport;
+    std::vector<std::pair<std::string, std::string>> fields_;  // pre-encoded
+  };
+
+  JsonReport& put(const std::string& key, double v);
+  JsonReport& put(const std::string& key, std::uint64_t v);
+  JsonReport& put(const std::string& key, std::int64_t v);
+  JsonReport& put(const std::string& key, int v);
+  JsonReport& put(const std::string& key, bool v);
+  JsonReport& put(const std::string& key, const std::string& v);
+  JsonReport& put(const std::string& key, const char* v);
+
+  /// Appends a row; the reference stays valid until the next add_row().
+  Row& add_row();
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes BENCH_<name>.json into $GDIAM_BENCH_DIR (default: the working
+  /// directory) and returns the path. Never throws: an unwritable
+  /// destination prints a warning to stderr and returns "".
+  std::string write() const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;  // pre-encoded
+  std::vector<Row> rows_;
+};
+
+}  // namespace gdiam::bench

@@ -60,7 +60,24 @@ void GrowingEngine::rebuild_frontier(const GrowingStepParams& params) {
   }
 }
 
+void GrowingEngine::ensure_split(Weight threshold) {
+  if (split_ready_ && split_threshold_ == threshold) return;
+  if (policy_ == GrowingPolicy::kPartitioned) {
+    shard_splits_.clear();
+    shard_splits_.reserve(partition_->num_partitions());
+    for (const mr::Shard& sh : partition_->shards()) {
+      shard_splits_.push_back(
+          presplit_csr(sh.offsets, sh.targets, sh.weights, threshold));
+    }
+  } else {
+    split_ = SplitCsr(g_, threshold);
+  }
+  split_threshold_ = threshold;
+  split_ready_ = true;
+}
+
 GrowingStepResult GrowingEngine::step(const GrowingStepParams& params) {
+  if (presplit_) ensure_split(params.light_threshold);
   switch (policy_) {
     case GrowingPolicy::kPush: return step_push(params);
     case GrowingPolicy::kPartitioned: return step_partitioned(params);
@@ -85,11 +102,13 @@ GrowingStepResult GrowingEngine::step_push(const GrowingStepParams& params) {
     const Weight budget = budget_of(params, c);
     if (!(static_cast<Weight>(b) < budget)) continue;
 
-    const auto nbr = g_.neighbors(u);
-    const auto wts = g_.weights(u);
+    // Presplit: the light segment holds exactly the w ≤ light_threshold arcs,
+    // so the heavy-edge filter disappears from the inner loop.
+    const auto nbr = presplit_ ? split_.light_neighbors(u) : g_.neighbors(u);
+    const auto wts = presplit_ ? split_.light_weights(u) : g_.weights(u);
     for (std::size_t i = 0; i < nbr.size(); ++i) {
       const Weight w = wts[i];
-      if (w > params.light_threshold) continue;  // heavy edge
+      if (!presplit_ && w > params.light_threshold) continue;  // heavy edge
       const Weight nb = static_cast<Weight>(b) + w;
       if (nb > budget) continue;
       const NodeId v = nbr[i];
@@ -121,11 +140,15 @@ GrowingStepResult GrowingEngine::step_push(const GrowingStepParams& params) {
   out.newly_labeled = newly;
 
   frontier_ = next_buffers_.gather();
-  for (const NodeId v : frontier_) in_next_frontier_[v] = 0;
   frontier_labels_.resize(frontier_.size());
+  // Flag reset + label snapshot in one parallel sweep (the snapshot was the
+  // last serial per-node loop on the push hot path).
+#pragma omp parallel for schedule(static, 2048)
   for (std::size_t i = 0; i < frontier_.size(); ++i) {
-    frontier_labels_[i] = std::atomic_ref<PackedLabel>(labels_[frontier_[i]])
-                              .load(std::memory_order_relaxed);
+    const NodeId v = frontier_[i];
+    in_next_frontier_[v] = 0;
+    frontier_labels_[i] =
+        std::atomic_ref<PackedLabel>(labels_[v]).load(std::memory_order_relaxed);
   }
   return out;
 }
@@ -144,8 +167,10 @@ GrowingStepResult GrowingEngine::step_pull(const GrowingStepParams& params) {
       continue;
     }
     PackedLabel best = labels_[v];
-    const auto nbr = g_.neighbors(v);
-    const auto wts = g_.weights(v);
+    // Edge weights are symmetric, so v's light in-edges are exactly its
+    // light out-edges: the presplit segment serves the pull direction too.
+    const auto nbr = presplit_ ? split_.light_neighbors(v) : g_.neighbors(v);
+    const auto wts = presplit_ ? split_.light_weights(v) : g_.weights(v);
     for (std::size_t i = 0; i < nbr.size(); ++i) {
       const NodeId u = nbr[i];
       // Nodes unchanged since the last step already delivered their
@@ -153,7 +178,7 @@ GrowingStepResult GrowingEngine::step_pull(const GrowingStepParams& params) {
       // identical to the push policy.
       if (!changed_[u]) continue;
       const Weight w = wts[i];
-      if (w > params.light_threshold) continue;
+      if (!presplit_ && w > params.light_threshold) continue;
       const PackedLabel lab = labels_[u];
       if (!label_assigned(lab)) continue;
       const float b = label_dist(lab);
@@ -207,6 +232,11 @@ GrowingStepResult GrowingEngine::step_partitioned(
 
   auto compute = [&](const mr::Shard& sh, mr::Exchange<LabelProposal>& ex) {
     std::uint64_t messages = 0;
+    // Presplit shards share the flat layout's discipline: the light half of
+    // each owned node's permuted segment, no per-edge weight filter.
+    const CsrSplit* ss = presplit_ ? &shard_splits_[sh.id] : nullptr;
+    const NodeId* tgt = presplit_ ? ss->targets.data() : sh.targets.data();
+    const Weight* wt = presplit_ ? ss->weights.data() : sh.weights.data();
     for (NodeId l = 0; l < sh.num_owned; ++l) {
       const NodeId u = sh.global_of_local[l];
       if (!changed_[u]) continue;
@@ -217,13 +247,13 @@ GrowingStepResult GrowingEngine::step_partitioned(
       const Weight budget = budget_of(params, c);
       if (!(static_cast<Weight>(b) < budget)) continue;
       const EdgeIndex lo = sh.offsets[l];
-      const EdgeIndex hi = sh.offsets[l + 1];
+      const EdgeIndex hi = presplit_ ? ss->split[l] : sh.offsets[l + 1];
       for (EdgeIndex i = lo; i < hi; ++i) {
-        const Weight w = sh.weights[i];
-        if (w > params.light_threshold) continue;
+        const Weight w = wt[i];
+        if (!presplit_ && w > params.light_threshold) continue;
         const Weight nb = static_cast<Weight>(b) + w;
         if (nb > budget) continue;
-        const NodeId tl = sh.targets[i];
+        const NodeId tl = tgt[i];
         const NodeId v = sh.global_of_local[tl];
         if (blocked_[v]) continue;  // contracted members never accept
         ++messages;

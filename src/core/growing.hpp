@@ -41,6 +41,7 @@
 
 #include "core/labels.hpp"
 #include "graph/graph.hpp"
+#include "graph/split_csr.hpp"
 #include "mr/bsp_engine.hpp"
 #include "mr/exchange.hpp"
 #include "mr/partition.hpp"
@@ -124,6 +125,19 @@ class GrowingEngine {
   /// Executes one Δ-growing step; deterministic for a fixed label state.
   GrowingStepResult step(const GrowingStepParams& params);
 
+  /// Toggles the Δ-presplit adjacency (graph/split_csr.hpp). On (the
+  /// default), the engine lazily reorders each node's segment light-first
+  /// whenever `light_threshold` changes — typically once per growth stage —
+  /// and every step iterates only the light segment, branch-free. Off keeps
+  /// the per-edge weight filter over the original CSR; labels and counters
+  /// are bit-identical either way (enforced by tests/test_split_csr.cpp) —
+  /// the branch path is the A/B baseline for bench/micro_kernels.
+  void set_presplit(bool on) noexcept {
+    presplit_ = on;
+    split_ready_ = false;
+  }
+  [[nodiscard]] bool presplit() const noexcept { return presplit_; }
+
   /// Aggregate outcome of a run of Δ-growing steps.
   struct RunResult {
     GrowingStepResult totals;
@@ -178,6 +192,9 @@ class GrowingEngine {
   GrowingStepResult step_pull(const GrowingStepParams& params);
   GrowingStepResult step_partitioned(const GrowingStepParams& params);
 
+  /// (Re)builds the split caches for `threshold` if missing or stale.
+  void ensure_split(Weight threshold);
+
   /// Budget of the cluster centered at `c` under `params`.
   [[nodiscard]] static Weight budget_of(const GrowingStepParams& params,
                                         NodeId c) noexcept {
@@ -202,6 +219,13 @@ class GrowingEngine {
   std::unique_ptr<mr::Partition> partition_;
   std::unique_ptr<mr::BspEngine> bsp_;
   mr::Exchange<LabelProposal> exchange_;
+  // Δ-presplit adjacency, cached per light_threshold (rebuilt when a stage
+  // changes the threshold, not per step)
+  bool presplit_ = true;
+  bool split_ready_ = false;
+  Weight split_threshold_ = 0.0;
+  SplitCsr split_;                      // kPush / kPull
+  std::vector<CsrSplit> shard_splits_;  // kPartitioned
 };
 
 }  // namespace gdiam::core

@@ -6,6 +6,8 @@
 #include "graph/builder.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/sweep.hpp"
+#include "util/bitpack.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace gdiam::core {
@@ -25,20 +27,36 @@ QuotientGraph build_quotient(const Graph& g, const Clustering& clustering) {
   for (NodeId i = 0; i < k; ++i) {
     index_of_center[clustering.centers[i]] = i;
   }
+  // Membership + radii in one parallel sweep. Radii are max-reductions over
+  // order-encoded doubles (util/bitpack.hpp), so the result is the exact
+  // max regardless of thread interleaving — no floating-point accumulation.
   out.cluster_of_node.resize(n);
-  out.cluster_radius.assign(k, 0.0);
+  std::vector<std::uint64_t> radius_bits(k, util::double_order_bits(0.0));
+#pragma omp parallel for schedule(static, 4096)
   for (NodeId u = 0; u < n; ++u) {
     const NodeId cu = index_of_center[clustering.center_of[u]];
     out.cluster_of_node[u] = cu;
-    out.cluster_radius[cu] =
-        std::max(out.cluster_radius[cu], clustering.dist_to_center[u]);
+    util::atomic_fetch_max(
+        radius_bits[cu],
+        util::double_order_bits(clustering.dist_to_center[u]));
+  }
+  out.cluster_radius.resize(k);
+  for (NodeId c = 0; c < k; ++c) {
+    out.cluster_radius[c] = util::double_from_order_bits(radius_bits[c]);
   }
 
-  GraphBuilder b(k);
+  // Inter-cluster edge scan over the whole edge set — run once per round on
+  // all of G, this was the last serial per-round phase. Each thread emits
+  // into its own buffer; GraphBuilder's sort+dedup makes the final quotient
+  // independent of emission order, so the result is bit-identical to the
+  // serial construction.
+  util::ThreadBuffers<Edge> cut_edges;
+#pragma omp parallel for schedule(dynamic, 1024)
   for (NodeId u = 0; u < n; ++u) {
     const auto nbr = g.neighbors(u);
     const auto wts = g.weights(u);
     const NodeId cu = out.cluster_of_node[u];
+    auto& buf = cut_edges.local();
     for (std::size_t i = 0; i < nbr.size(); ++i) {
       const NodeId v = nbr[i];
       if (u >= v) continue;  // each undirected edge once
@@ -46,12 +64,14 @@ QuotientGraph build_quotient(const Graph& g, const Clustering& clustering) {
       if (cu == cv) continue;  // intra-cluster edges vanish
       // Inter-cluster weight w(u,v) + d_u + d_v; GraphBuilder keeps the
       // minimum over parallel edges (the paper's rule).
-      b.add_edge(cu, cv,
-                 wts[i] + clustering.dist_to_center[u] +
-                     clustering.dist_to_center[v]);
+      buf.push_back(Edge{cu, cv,
+                         wts[i] + clustering.dist_to_center[u] +
+                             clustering.dist_to_center[v]});
     }
   }
-  out.graph = b.build();
+  GraphBuilder b(k);
+  b.add_edges(cut_edges.gather());
+  out.graph = b.build_parallel();
   return out;
 }
 

@@ -5,18 +5,71 @@
 #include <stdexcept>
 #include <utility>
 
+#include <omp.h>
+
 namespace gdiam {
+
+namespace {
+
+/// Total order on arcs: source, target, then weight ascending — so after
+/// sorting, the first arc of each (u, v) run carries the minimum weight and
+/// plain unique() implements the paper's parallel-edge rule.
+bool arc_less(const Edge& a, const Edge& b) noexcept {
+  if (a.u != b.u) return a.u < b.u;
+  if (a.v != b.v) return a.v < b.v;
+  return a.w < b.w;
+}
+
+/// OpenMP chunked merge sort with the same total order as std::sort —
+/// identical output for any input (equal arcs are indistinguishable).
+void parallel_sort_arcs(std::vector<Edge>& arcs) {
+  const auto threads = static_cast<std::size_t>(omp_get_max_threads());
+  if (arcs.size() < (1u << 15)) {
+    std::sort(arcs.begin(), arcs.end(), arc_less);
+    return;
+  }
+  // At least 4 chunks even single-threaded: the merge tree then runs (and is
+  // tested) everywhere, and its serial overhead over one big sort is noise.
+  std::size_t chunks = 4;
+  while (chunks < threads && chunks < 64) chunks <<= 1;
+  std::vector<std::size_t> bounds(chunks + 1);
+  for (std::size_t c = 0; c <= chunks; ++c) {
+    bounds[c] = arcs.size() * c / chunks;
+  }
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::sort(arcs.begin() + bounds[c], arcs.begin() + bounds[c + 1],
+              arc_less);
+  }
+  for (std::size_t width = 1; width < chunks; width *= 2) {
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::size_t c = 0; c < chunks; c += 2 * width) {
+      const std::size_t mid = c + width;
+      const std::size_t end = std::min(c + 2 * width, chunks);
+      if (mid < end) {
+        std::inplace_merge(arcs.begin() + bounds[c], arcs.begin() + bounds[mid],
+                           arcs.begin() + bounds[end], arc_less);
+      }
+    }
+  }
+}
+
+}  // namespace
 
 GraphBuilder::GraphBuilder(NodeId num_nodes) : n_(num_nodes) {}
 
-void GraphBuilder::add_edge(NodeId u, NodeId v, Weight w) {
+void GraphBuilder::check_edge(NodeId u, NodeId v, Weight w) const {
   if (u >= n_ || v >= n_) {
-    throw std::out_of_range("GraphBuilder::add_edge: node id out of range");
+    throw std::out_of_range("GraphBuilder: node id out of range");
   }
   if (!(w > 0.0) || !std::isfinite(w)) {
     throw std::invalid_argument(
-        "GraphBuilder::add_edge: weight must be positive and finite");
+        "GraphBuilder: weight must be positive and finite");
   }
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v, Weight w) {
+  check_edge(u, v, w);
   if (u == v) return;  // self-loops never affect shortest paths
   edges_.push_back(Edge{u, v, w});
 }
@@ -26,9 +79,18 @@ void GraphBuilder::add_edges(const EdgeList& edges) {
   for (const Edge& e : edges) add_edge(e.u, e.v, e.w);
 }
 
-Graph GraphBuilder::build() {
-  // Materialize both arc directions, then sort and deduplicate keeping the
-  // minimum weight for parallel edges.
+void GraphBuilder::add_edges(EdgeList&& edges) {
+  if (edges_.empty()) {
+    // Validate in place (same rules as add_edge), then adopt the storage.
+    for (const Edge& e : edges) check_edge(e.u, e.v, e.w);
+    std::erase_if(edges, [](const Edge& e) { return e.u == e.v; });
+    edges_ = std::move(edges);
+    return;
+  }
+  add_edges(edges);
+}
+
+std::vector<Edge> GraphBuilder::materialize_arcs() {
   std::vector<Edge> arcs;
   arcs.reserve(edges_.size() * 2);
   for (const Edge& e : edges_) {
@@ -37,12 +99,10 @@ Graph GraphBuilder::build() {
   }
   edges_.clear();
   edges_.shrink_to_fit();
+  return arcs;
+}
 
-  std::sort(arcs.begin(), arcs.end(), [](const Edge& a, const Edge& b) {
-    if (a.u != b.u) return a.u < b.u;
-    if (a.v != b.v) return a.v < b.v;
-    return a.w < b.w;
-  });
+Graph GraphBuilder::emit_sorted(std::vector<Edge> arcs) const {
   arcs.erase(std::unique(arcs.begin(), arcs.end(),
                          [](const Edge& a, const Edge& b) {
                            return a.u == b.u && a.v == b.v;
@@ -60,6 +120,20 @@ Graph GraphBuilder::build() {
     weights[i] = arcs[i].w;
   }
   return Graph(std::move(offsets), std::move(targets), std::move(weights));
+}
+
+Graph GraphBuilder::build() {
+  // Materialize both arc directions, then sort and deduplicate keeping the
+  // minimum weight for parallel edges.
+  std::vector<Edge> arcs = materialize_arcs();
+  std::sort(arcs.begin(), arcs.end(), arc_less);
+  return emit_sorted(std::move(arcs));
+}
+
+Graph GraphBuilder::build_parallel() {
+  std::vector<Edge> arcs = materialize_arcs();
+  parallel_sort_arcs(arcs);
+  return emit_sorted(std::move(arcs));
 }
 
 Graph build_graph(NodeId num_nodes, const EdgeList& edges) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -128,10 +129,23 @@ void write_dimacs_file(const Graph& g, const std::string& path) {
   write_dimacs(g, f);
 }
 
-Graph read_edge_list(std::istream& in, bool compact_ids) {
+Graph read_edge_list(std::istream& in, bool compact_ids,
+                     std::size_t size_hint_bytes) {
   EdgeList raw;
   std::unordered_map<std::uint64_t, NodeId> remap;
   std::uint64_t max_id = 0;
+  if (size_hint_bytes > 0) {
+    // ~16 bytes per "u v [w]" line on real SNAP dumps; a slight
+    // over-estimate only wastes capacity, an under-estimate costs rehashes
+    // and edge-buffer reallocations mid-scan.
+    const std::size_t edges_hint = size_hint_bytes / 16 + 16;
+    raw.reserve(edges_hint);
+    // Real edge lists have far fewer nodes than edges (web/social graphs
+    // average well over 10 edges per node); a small fraction of the edge
+    // estimate avoids rehashing without ballooning the bucket array on
+    // billion-line inputs. Under-estimates just rehash a couple of times.
+    if (compact_ids) remap.reserve(edges_hint / 16 + 16);
+  }
   auto map_id = [&](std::uint64_t id) -> NodeId {
     if (!compact_ids) {
       max_id = std::max(max_id, id);
@@ -143,6 +157,7 @@ Graph read_edge_list(std::istream& in, bool compact_ids) {
   };
 
   std::string line;
+  line.reserve(128);
   while (std::getline(in, line)) {
     const auto first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos) continue;
@@ -166,7 +181,10 @@ Graph read_edge_list(std::istream& in, bool compact_ids) {
 
 Graph read_edge_list_file(const std::string& path, bool compact_ids) {
   auto f = open_in(path, std::ios::in);
-  return read_edge_list(f, compact_ids);
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(path, ec);
+  return read_edge_list(f, compact_ids,
+                        ec ? 0 : static_cast<std::size_t>(bytes));
 }
 
 void write_edge_list(const Graph& g, std::ostream& out) {

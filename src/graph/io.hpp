@@ -31,7 +31,11 @@ void write_dimacs_file(const Graph& g, const std::string& path);
 /// first appearance when `compact_ids`, else taken literally (max id + 1
 /// nodes). Directed inputs are symmetrized (paper: "the twitter graph,
 /// originally directed, has been symmetrized").
-[[nodiscard]] Graph read_edge_list(std::istream& in, bool compact_ids = true);
+/// `size_hint_bytes` (stream length, when known) presizes the edge buffer
+/// and the id-remap table so the scan does not rehash/reallocate while
+/// loading; the file variant derives it from the file size automatically.
+[[nodiscard]] Graph read_edge_list(std::istream& in, bool compact_ids = true,
+                                   std::size_t size_hint_bytes = 0);
 [[nodiscard]] Graph read_edge_list_file(const std::string& path,
                                         bool compact_ids = true);
 

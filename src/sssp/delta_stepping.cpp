@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "graph/split_csr.hpp"
 #include "mr/bsp_engine.hpp"
 #include "mr/exchange.hpp"
 #include "util/bitpack.hpp"
@@ -125,6 +126,24 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
     out.partitions_used = k;
   }
 
+  // Δ-presplit adjacency (graph/split_csr.hpp): one O(m) light-first reorder
+  // up front, amortized over every relaxation phase of the run. The flat
+  // kernel splits the graph's CSR; the partitioned one splits each shard's
+  // CSR, so both backends see the same per-node split offsets.
+  SplitCsr split;
+  std::vector<CsrSplit> shard_splits;
+  if (opts.presplit) {
+    if (part == nullptr) {
+      split = SplitCsr(g, delta);
+    } else {
+      shard_splits.reserve(part->num_partitions());
+      for (const mr::Shard& sh : part->shards()) {
+        shard_splits.push_back(
+            presplit_csr(sh.offsets, sh.targets, sh.weights, delta));
+      }
+    }
+  }
+
   // Relax `kind` edges out of `frontier` (distance snapshots taken at phase
   // start, so the phase is one synchronous round and all counters are
   // independent of thread interleaving); returns the distinct nodes whose
@@ -132,14 +151,25 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
   auto relax_flat = [&](const std::vector<std::pair<NodeId, Weight>>& frontier,
                         EdgeKind kind) {
     std::uint64_t messages = 0, updates = 0;
+    const bool use_split = !split.empty();
 #pragma omp parallel for schedule(dynamic, 64) reduction(+ : messages, updates)
     for (std::size_t f = 0; f < frontier.size(); ++f) {
       const auto [u, du] = frontier[f];
-      const auto nbr = g.neighbors(u);
-      const auto wts = g.weights(u);
+      std::span<const NodeId> nbr;
+      std::span<const Weight> wts;
+      if (use_split) {
+        // Exactly the arcs of this class: no per-edge branch, no double scan.
+        nbr = kind == EdgeKind::kLight ? split.light_neighbors(u)
+                                       : split.heavy_neighbors(u);
+        wts = kind == EdgeKind::kLight ? split.light_weights(u)
+                                       : split.heavy_weights(u);
+      } else {
+        nbr = g.neighbors(u);
+        wts = g.weights(u);
+      }
       for (std::size_t i = 0; i < nbr.size(); ++i) {
         const Weight w = wts[i];
-        if ((kind == EdgeKind::kLight) != (w <= delta)) continue;
+        if (!use_split && (kind == EdgeKind::kLight) != (w <= delta)) continue;
         ++messages;
         const std::uint64_t nd = util::double_order_bits(du + w);
         if (util::atomic_fetch_min(dist_bits[nbr[i]], nd)) {
@@ -190,16 +220,29 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
 
     auto compute = [&](const mr::Shard& sh, mr::Exchange<DistProposal>& ex) {
       std::uint64_t messages = 0;
+      // With presplit, iterate only the [light | heavy] half of the shard's
+      // permuted segment; otherwise branch-filter the original shard CSR.
+      const CsrSplit* ss =
+          shard_splits.empty() ? nullptr : &shard_splits[sh.id];
+      const NodeId* tgt = ss != nullptr ? ss->targets.data()
+                                        : sh.targets.data();
+      const Weight* wt = ss != nullptr ? ss->weights.data()
+                                       : sh.weights.data();
       for (const auto& [u, du] : by_shard[sh.id]) {
         const NodeId l = part->local_id(u);
-        const EdgeIndex lo = sh.offsets[l];
-        const EdgeIndex hi = sh.offsets[l + 1];
+        EdgeIndex lo = sh.offsets[l];
+        EdgeIndex hi = sh.offsets[l + 1];
+        if (ss != nullptr) {
+          (kind == EdgeKind::kLight ? hi : lo) = ss->split[l];
+        }
         for (EdgeIndex i = lo; i < hi; ++i) {
-          const Weight w = sh.weights[i];
-          if ((kind == EdgeKind::kLight) != (w <= delta)) continue;
+          const Weight w = wt[i];
+          if (ss == nullptr && (kind == EdgeKind::kLight) != (w <= delta)) {
+            continue;
+          }
           ++messages;
           const std::uint64_t nd = util::double_order_bits(du + w);
-          const NodeId tl = sh.targets[i];
+          const NodeId tl = tgt[i];
           const NodeId v = sh.global_of_local[tl];
           if (!sh.is_ghost(tl)) {
             lower(sh.id, v, nd);

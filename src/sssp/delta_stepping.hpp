@@ -36,6 +36,13 @@ struct DeltaSteppingOptions {
   Weight delta = 0.0;
   /// Cap on light-phase iterations per bucket (safety valve; 0 = unlimited).
   std::uint64_t max_phases_per_bucket = 0;
+  /// Relax over the Δ-presplit adjacency (graph/split_csr.hpp): one O(m)
+  /// reorder up front, then every light/heavy phase iterates exactly its edge
+  /// class with no per-edge weight branch and no double scan. `false` keeps
+  /// the branch-filter loops over the original CSR — bit-identical results
+  /// (the tests enforce it); it exists as the A/B baseline for
+  /// bench/micro_kernels and costs one weight comparison per arc per phase.
+  bool presplit = true;
   /// Shard layout for the partitioned BSP backend; num_partitions <= 1
   /// selects the flat shared-memory kernel.
   mr::PartitionOptions partition;

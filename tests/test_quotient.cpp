@@ -101,6 +101,84 @@ TEST(Quotient, IntraClusterEdgesVanish) {
 }
 
 // ---------------------------------------------------------------------------
+// The parallel construction (OpenMP edge scan + atomic-max radii + parallel
+// sort) must reproduce the straightforward serial build bit-for-bit:
+// identical quotient CSR arrays, membership and radii.
+
+QuotientGraph serial_reference_quotient(const Graph& g, const Clustering& c) {
+  QuotientGraph out;
+  out.center_of_cluster = c.centers;
+  const auto k = static_cast<NodeId>(c.centers.size());
+  std::vector<NodeId> index_of_center(g.num_nodes(), kInvalidNode);
+  for (NodeId i = 0; i < k; ++i) index_of_center[c.centers[i]] = i;
+  out.cluster_of_node.resize(g.num_nodes());
+  out.cluster_radius.assign(k, 0.0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const NodeId cu = index_of_center[c.center_of[u]];
+    out.cluster_of_node[u] = cu;
+    out.cluster_radius[cu] =
+        std::max(out.cluster_radius[cu], c.dist_to_center[u]);
+  }
+  GraphBuilder b(k);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbr = g.neighbors(u);
+    const auto wts = g.weights(u);
+    for (std::size_t i = 0; i < nbr.size(); ++i) {
+      if (u >= nbr[i]) continue;
+      const NodeId cu = out.cluster_of_node[u];
+      const NodeId cv = out.cluster_of_node[nbr[i]];
+      if (cu == cv) continue;
+      b.add_edge(cu, cv,
+                 wts[i] + c.dist_to_center[u] + c.dist_to_center[nbr[i]]);
+    }
+  }
+  out.graph = b.build();
+  return out;
+}
+
+TEST(QuotientParallel, BitIdenticalToSerialReferenceOnAllFamilies) {
+  for (const Family family : test::all_families()) {
+    const Graph g = test::make_family(family, 220, 19);
+    ClusterOptions opts;
+    opts.tau = 4;
+    opts.seed = 29;
+    opts.stop_factor = 2.0;
+    const Clustering c = cluster(g, opts);
+
+    const QuotientGraph a = serial_reference_quotient(g, c);
+    const QuotientGraph b = build_quotient(g, c);
+    EXPECT_EQ(a.cluster_of_node, b.cluster_of_node)
+        << test::family_name(family);
+    EXPECT_EQ(a.cluster_radius, b.cluster_radius);  // exact, not approximate
+    EXPECT_EQ(a.center_of_cluster, b.center_of_cluster);
+    EXPECT_EQ(a.graph.offsets(), b.graph.offsets());
+    EXPECT_EQ(a.graph.targets(), b.graph.targets());
+    EXPECT_EQ(a.graph.edge_weights(), b.graph.edge_weights());
+  }
+}
+
+TEST(QuotientParallel, BuildParallelMatchesBuildOnAdversarialInput) {
+  // Duplicates, parallel edges with distinct weights, both orientations —
+  // the dedup rule (min weight per pair) must come out identical.
+  util::Xoshiro256 rng(101);
+  GraphBuilder serial(300);
+  GraphBuilder parallel(300);
+  for (int i = 0; i < 50000; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_bounded(300));
+    const auto v = static_cast<NodeId>(rng.next_bounded(300));
+    if (u == v) continue;
+    const Weight w = 1.0 + static_cast<Weight>(rng.next_bounded(8));
+    serial.add_edge(u, v, w);
+    parallel.add_edge(u, v, w);
+  }
+  const Graph a = serial.build();
+  const Graph b = parallel.build_parallel();
+  EXPECT_EQ(a.offsets(), b.offsets());
+  EXPECT_EQ(a.targets(), b.targets());
+  EXPECT_EQ(a.edge_weights(), b.edge_weights());
+}
+
+// ---------------------------------------------------------------------------
 // The headline property: Φ(G_C) + 2R is a conservative diameter estimate.
 
 class QuotientConservative

@@ -1,0 +1,264 @@
+// Split-CSR layout (graph/split_csr.hpp): structural invariants of the
+// light-first reorder, and bit-exact parity of the presplit kernels against
+// the branch-filter baseline — distances, labels and every RoundStats
+// counter, on every graph family, flat and partitioned (K ∈ {1, 2, 7}).
+
+#include "graph/split_csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/cluster.hpp"
+#include "core/growing.hpp"
+#include "mr/partition.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "test_helpers.hpp"
+
+namespace gdiam {
+namespace {
+
+using test::Family;
+
+// ---------------------------------------------------------------------------
+// Structural invariants of the reorder itself.
+
+class SplitInvariants : public testing::TestWithParam<Family> {};
+
+TEST_P(SplitInvariants, SegmentsPartitionAdjacency) {
+  const Graph g = test::make_family(GetParam(), 180, 42);
+  for (const Weight delta :
+       {0.0, g.min_weight(), g.avg_weight(), g.max_weight(),
+        2.0 * g.max_weight()}) {
+    const SplitCsr split(g, delta);
+    ASSERT_TRUE(split.validate()) << "delta=" << delta;
+    EXPECT_EQ(split.delta(), delta);
+
+    EdgeIndex light_total = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      // Split offset stays inside the node's segment; since offsets are
+      // nondecreasing this also makes the split array monotone.
+      EXPECT_GE(split.split_at(u), g.offsets()[u]);
+      EXPECT_LE(split.split_at(u), g.offsets()[u + 1]);
+      if (u > 0) {
+        EXPECT_GE(split.split_at(u), split.split_at(u - 1));
+      }
+      EXPECT_EQ(split.light_degree(u) + split.heavy_degree(u), g.degree(u));
+
+      // Class purity and consistent (target, weight) pairing: each light
+      // weight is ≤ delta, each heavy one > delta, and the segments together
+      // are a permutation of the original adjacency (validate() checks the
+      // stable order; here we re-check the multiset by sorted compare).
+      const auto lw = split.light_weights(u);
+      for (const Weight w : lw) EXPECT_LE(w, delta);
+      const auto hw = split.heavy_weights(u);
+      for (const Weight w : hw) EXPECT_GT(w, delta);
+      light_total += split.light_degree(u);
+
+      std::vector<std::pair<NodeId, Weight>> original, permuted;
+      const auto nbr = g.neighbors(u);
+      const auto wts = g.weights(u);
+      for (std::size_t i = 0; i < nbr.size(); ++i) {
+        original.emplace_back(nbr[i], wts[i]);
+      }
+      const auto ln = split.light_neighbors(u);
+      const auto hn = split.heavy_neighbors(u);
+      for (std::size_t i = 0; i < ln.size(); ++i) {
+        permuted.emplace_back(ln[i], lw[i]);
+      }
+      for (std::size_t i = 0; i < hn.size(); ++i) {
+        permuted.emplace_back(hn[i], hw[i]);
+      }
+      std::sort(original.begin(), original.end());
+      std::sort(permuted.begin(), permuted.end());
+      EXPECT_EQ(original, permuted) << "node " << u << " delta " << delta;
+    }
+    // Extreme deltas degenerate to "everything heavy" / "everything light".
+    if (delta == 0.0) {
+      EXPECT_EQ(light_total, 0u);
+    }
+    if (delta >= g.max_weight()) {
+      EXPECT_EQ(light_total, g.num_directed_edges());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, SplitInvariants,
+                         testing::ValuesIn(test::all_families()),
+                         [](const auto& info) {
+                           return test::family_name(info.param);
+                         });
+
+TEST(SplitCsrBasics, EmptyAndEdgelessGraphs) {
+  const SplitCsr empty;
+  EXPECT_TRUE(empty.empty());
+
+  const Graph g = build_graph(5, {});  // nodes, no edges
+  const SplitCsr split(g, 1.0);
+  EXPECT_FALSE(split.empty());
+  EXPECT_TRUE(split.validate());
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_EQ(split.light_degree(u), 0u);
+    EXPECT_EQ(split.heavy_degree(u), 0u);
+  }
+}
+
+TEST(SplitCsrBasics, PresplitCsrMatchesShardArrays) {
+  // presplit_csr applied to a Partition shard keeps the same per-node
+  // segment boundaries (the shard's offsets) and only permutes within them.
+  const Graph g = test::make_family(Family::kGnmUniform, 120, 7);
+  const mr::Partition part(
+      g, {.num_partitions = 3, .strategy = mr::PartitionStrategy::kHash});
+  const Weight delta = g.avg_weight();
+  for (const mr::Shard& sh : part.shards()) {
+    const CsrSplit ss = presplit_csr(sh.offsets, sh.targets, sh.weights, delta);
+    ASSERT_EQ(ss.split.size(), sh.num_owned);
+    ASSERT_EQ(ss.targets.size(), sh.targets.size());
+    for (NodeId l = 0; l < sh.num_owned; ++l) {
+      EXPECT_GE(ss.split[l], sh.offsets[l]);
+      EXPECT_LE(ss.split[l], sh.offsets[l + 1]);
+      for (EdgeIndex i = sh.offsets[l]; i < sh.offsets[l + 1]; ++i) {
+        EXPECT_EQ(ss.weights[i] <= delta, i < ss.split[l]);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Δ-stepping parity: presplit on vs off must agree bit-for-bit on distances
+// and on every counter, for the flat kernel and all partitioned shard counts.
+
+class DeltaSteppingSplitParity
+    : public testing::TestWithParam<std::tuple<Family, std::uint32_t>> {};
+
+TEST_P(DeltaSteppingSplitParity, BitIdenticalToBranchFilter) {
+  const auto [family, k] = GetParam();
+  const Graph g = test::make_family(family, 200, 23);
+  for (const double mult : {0.5, 1.0, 8.0}) {
+    sssp::DeltaSteppingOptions branch;
+    branch.presplit = false;
+    branch.delta = mult * g.avg_weight();
+    branch.partition = {.num_partitions = k,
+                        .strategy = mr::PartitionStrategy::kHash};
+    sssp::DeltaSteppingOptions presplit = branch;
+    presplit.presplit = true;
+
+    const auto a = sssp::delta_stepping(g, 3, branch);
+    const auto b = sssp::delta_stepping(g, 3, presplit);
+    EXPECT_EQ(a.dist, b.dist) << "mult=" << mult;
+    EXPECT_EQ(a.eccentricity, b.eccentricity);
+    EXPECT_EQ(a.farthest, b.farthest);
+    EXPECT_EQ(a.delta_used, b.delta_used);
+    EXPECT_EQ(a.buckets_processed, b.buckets_processed);
+    EXPECT_EQ(a.stats, b.stats) << "mult=" << mult;  // every counter
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamiliesAllShards, DeltaSteppingSplitParity,
+    testing::Combine(testing::ValuesIn(test::all_families()),
+                     testing::Values(1u, 2u, 7u)),
+    [](const auto& info) {
+      return std::string(test::family_name(std::get<0>(info.param))) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Δ-growing parity: per-step labels and counters, for each policy.
+
+core::GrowingStepParams uniform_params(Weight delta) {
+  core::GrowingStepParams p;
+  p.light_threshold = delta;
+  p.uniform_budget = delta;
+  return p;
+}
+
+class GrowingSplitParity
+    : public testing::TestWithParam<std::tuple<Family, std::uint32_t>> {};
+
+TEST_P(GrowingSplitParity, StepsBitIdenticalToBranchFilter) {
+  const auto [family, k] = GetParam();
+  const Graph g = test::make_family(family, 200, 55);
+  const core::GrowingStepParams p = uniform_params(2.0 * g.avg_weight());
+
+  const mr::PartitionOptions popts{.num_partitions = k,
+                                   .strategy = mr::PartitionStrategy::kHash};
+  // One engine pair per policy; K only matters for kPartitioned.
+  for (const auto policy :
+       {core::GrowingPolicy::kPush, core::GrowingPolicy::kPull,
+        core::GrowingPolicy::kPartitioned}) {
+    core::GrowingEngine branch(g, policy, popts);
+    core::GrowingEngine split(g, policy, popts);
+    branch.set_presplit(false);
+    ASSERT_TRUE(split.presplit());
+    for (core::GrowingEngine* e : {&branch, &split}) {
+      e->set_source(0, 0);
+      e->set_source(g.num_nodes() / 3, g.num_nodes() / 3);
+      e->block(2);
+      e->set_source(2, 2);
+      e->rebuild_frontier(p);
+    }
+    for (int step = 0; step < 64; ++step) {
+      const auto ra = branch.step(p);
+      const auto rb = split.step(p);
+      ASSERT_EQ(ra.messages, rb.messages)
+          << "policy " << static_cast<int>(policy) << " step " << step;
+      ASSERT_EQ(ra.updates, rb.updates);
+      ASSERT_EQ(ra.newly_labeled, rb.newly_labeled);
+      ASSERT_EQ(ra.cross_messages, rb.cross_messages);
+      ASSERT_EQ(ra.cross_bytes, rb.cross_bytes);
+      ASSERT_EQ(branch.labels(), split.labels());
+      if (ra.updates == 0) break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndShards, GrowingSplitParity,
+    testing::Combine(testing::Values(Family::kMeshUniform, Family::kRmatGiant,
+                                     Family::kPathHeavyTail),
+                     testing::Values(1u, 2u, 7u)),
+    [](const auto& info) {
+      return std::string(test::family_name(std::get<0>(info.param))) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Raising the threshold mid-run (a CLUSTER stage bump) must rebuild the
+// cached split and stay in lockstep with the branch path.
+TEST(GrowingSplitCache, ThresholdChangeRebuildsSplit) {
+  const Graph g = test::make_family(Family::kGnmUniform, 150, 13);
+  core::GrowingEngine branch(g, core::GrowingPolicy::kPush);
+  core::GrowingEngine split(g, core::GrowingPolicy::kPush);
+  branch.set_presplit(false);
+  for (core::GrowingEngine* e : {&branch, &split}) {
+    e->set_source(0, 0);
+  }
+  for (const double mult : {1.0, 2.0, 4.0}) {
+    const core::GrowingStepParams p = uniform_params(mult * g.avg_weight());
+    branch.rebuild_frontier(p);
+    split.rebuild_frontier(p);
+    for (int step = 0; step < 32; ++step) {
+      const auto ra = branch.step(p);
+      const auto rb = split.step(p);
+      ASSERT_EQ(ra.messages, rb.messages) << "mult " << mult;
+      ASSERT_EQ(ra.updates, rb.updates);
+      ASSERT_EQ(branch.labels(), split.labels());
+      if (ra.updates == 0) break;
+    }
+  }
+}
+
+// Whole-algorithm sanity: CLUSTER with the default presplit engines ends in
+// a valid clustering (the step-level parity above covers the counters).
+TEST(GrowingSplitCache, ClusterRunsOnPresplitEngines) {
+  const Graph g = test::make_family(Family::kMeshUniform, 250, 3);
+  core::ClusterOptions opts;
+  opts.tau = 4;
+  opts.seed = 17;
+  opts.stop_factor = 2.0;
+  const core::Clustering c = core::cluster(g, opts);
+  EXPECT_TRUE(c.validate(g));
+}
+
+}  // namespace
+}  // namespace gdiam
