@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/cluster.hpp"
+#include "core/frontier.hpp"
 #include "core/growing.hpp"
 #include "gen/mesh.hpp"
 #include "gen/rmat.hpp"
@@ -120,6 +121,139 @@ void BM_DeltaSteppingPresplitOff(benchmark::State& state) {
 }
 BENCHMARK(BM_DeltaSteppingPresplitOff)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Sparse-vs-dense A/B for per-round frontier maintenance — the tentpole of
+// the adaptive frontier engine, measured in isolation. Both kernels run the
+// same deterministic hop-relaxation waves over the road network (frontiers
+// peak around 2·side of n = side² nodes — the sparse regime that dominates
+// road/mesh rounds); the only difference is how the active set is kept:
+// thread-local queues with stamp dedup (core::Frontier, sparse
+// representation pinned) vs the legacy byte-flag arrays whose every round
+// pays two full-length scans (enumerate + reset).
+
+/// One wave of hop relaxation out of `u`; lowers hop counts atomically and
+/// reports each improved node to `on_improved` exactly once per wave.
+template <typename OnImproved>
+inline void relax_hops(const Graph& g, NodeId u, std::vector<std::uint32_t>& hop,
+                       OnImproved&& on_improved) {
+  const std::uint32_t nd = hop[u] + 1;
+  const auto nbr = g.neighbors(u);
+  for (std::size_t i = 0; i < nbr.size(); ++i) {
+    const NodeId v = nbr[i];
+    std::atomic_ref<std::uint32_t> slot(hop[v]);
+    std::uint32_t cur = slot.load(std::memory_order_relaxed);
+    while (nd < cur) {
+      if (slot.compare_exchange_weak(cur, nd, std::memory_order_relaxed)) {
+        on_improved(v);
+        break;
+      }
+    }
+  }
+}
+
+void BM_FrontierSparse(benchmark::State& state) {
+  const Graph& g = road_graph();
+  const NodeId n = g.num_nodes();
+  core::FrontierOptions fo;
+  fo.adaptive = false;  // pin the sparse representation for the A/B
+  core::Frontier frontier(n, fo);
+  std::vector<std::uint32_t> hop(n);
+  std::uint64_t waves = 0;
+  for (auto _ : state) {
+    std::fill(hop.begin(), hop.end(), ~0u);
+    frontier.clear();
+    hop[0] = 0;
+    frontier.insert(0);
+    frontier.advance();
+    while (!frontier.empty()) {
+      const auto& active = frontier.nodes();
+#pragma omp parallel for schedule(dynamic, 64)
+      for (std::size_t f = 0; f < active.size(); ++f) {
+        relax_hops(g, active[f], hop,
+                   [&](NodeId v) { frontier.insert(v); });
+      }
+      frontier.advance();
+      ++waves;
+    }
+    benchmark::DoNotOptimize(waves);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(waves));
+}
+BENCHMARK(BM_FrontierSparse)->Unit(benchmark::kMillisecond);
+
+void BM_FrontierDense(benchmark::State& state) {
+  const Graph& g = road_graph();
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> hop(n);
+  std::vector<std::uint8_t> in_frontier(n), in_next(n);
+  std::uint64_t waves = 0;
+  for (auto _ : state) {
+    std::fill(hop.begin(), hop.end(), ~0u);
+    std::fill(in_frontier.begin(), in_frontier.end(), 0);
+    std::fill(in_next.begin(), in_next.end(), 0);
+    hop[0] = 0;
+    in_frontier[0] = 1;
+    std::uint64_t active = 1;
+    while (active > 0) {
+      std::uint64_t next_active = 0;
+      // The legacy representation: every wave scans all n flags to find the
+      // active nodes, then another full pass swaps/clears the flag arrays.
+#pragma omp parallel for schedule(dynamic, 1024) reduction(+ : next_active)
+      for (NodeId u = 0; u < n; ++u) {
+        if (!in_frontier[u]) continue;
+        relax_hops(g, u, hop, [&](NodeId v) {
+          std::atomic_ref<std::uint8_t> flag(in_next[v]);
+          if (flag.exchange(1, std::memory_order_relaxed) == 0) ++next_active;
+        });
+      }
+      in_frontier.swap(in_next);
+#pragma omp parallel for schedule(static, 4096)
+      for (NodeId u = 0; u < n; ++u) in_next[u] = 0;
+      active = next_active;
+      ++waves;
+    }
+    benchmark::DoNotOptimize(waves);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(waves));
+}
+BENCHMARK(BM_FrontierDense)->Unit(benchmark::kMillisecond);
+
+// Whole-run adaptive on/off A/B: the sparse-heavy road family is where the
+// frontier engine and the RoundBuffers pool pay off; dense-heavy rmat runs
+// must not regress (the JSON report computes both ratios). Both sides share
+// a context — one SplitCsr for all iterations — so the ratio isolates
+// FrontierOptions::adaptive, not the presplit cache.
+void BM_DeltaSteppingRoad(benchmark::State& state) {
+  const Graph& g = road_graph();
+  sssp::DeltaSteppingContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::delta_stepping(g, 0, {}, &ctx));
+  }
+}
+BENCHMARK(BM_DeltaSteppingRoad)->Unit(benchmark::kMillisecond);
+
+void BM_DeltaSteppingRoadBaseline(benchmark::State& state) {
+  const Graph& g = road_graph();
+  sssp::DeltaSteppingOptions o;
+  o.frontier.adaptive = false;
+  sssp::DeltaSteppingContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::delta_stepping(g, 0, o, &ctx));
+  }
+}
+BENCHMARK(BM_DeltaSteppingRoadBaseline)->Unit(benchmark::kMillisecond);
+
+void BM_DeltaSteppingRmatBaseline(benchmark::State& state) {
+  const Graph& g = rmat_graph();
+  sssp::DeltaSteppingOptions o;
+  o.frontier.adaptive = false;
+  sssp::DeltaSteppingContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::delta_stepping(g, 0, o, &ctx));
+  }
+}
+BENCHMARK(BM_DeltaSteppingRmatBaseline)->Unit(benchmark::kMillisecond);
+
 void BM_GrowingStepPush(benchmark::State& state) {
   const Graph& g = mesh_graph();
   for (auto _ : state) {
@@ -164,6 +298,33 @@ void BM_GrowingStepPull(benchmark::State& state) {
 }
 BENCHMARK(BM_GrowingStepPull)->Unit(benchmark::kMillisecond);
 
+// The pull policy with the adaptive frontier engine disabled: every step
+// pays the legacy full-length Jacobi sweep regardless of frontier size.
+void BM_GrowingStepPullBaseline(benchmark::State& state) {
+  const Graph& g = mesh_graph();
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::GrowingEngine e(g, core::GrowingPolicy::kPull);
+    core::FrontierOptions fo;
+    fo.adaptive = false;
+    e.set_frontier_options(fo);
+    util::Xoshiro256 rng(11);
+    for (int c = 0; c < 64; ++c) {
+      const auto u = static_cast<NodeId>(rng.next_bounded(g.num_nodes()));
+      e.set_source(u, u);
+    }
+    core::GrowingStepParams p;
+    p.light_threshold = p.uniform_budget = 8.0 * g.avg_weight();
+    e.rebuild_frontier(p);
+    state.ResumeTiming();
+    while (e.step(p).updates > 0) {
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_directed_edges()));
+}
+BENCHMARK(BM_GrowingStepPullBaseline)->Unit(benchmark::kMillisecond);
+
 void BM_DeltaSteppingMesh(benchmark::State& state) {
   const Graph& g = mesh_graph();
   sssp::DeltaSteppingOptions o;
@@ -177,8 +338,9 @@ BENCHMARK(BM_DeltaSteppingMesh)->Arg(1)->Arg(8)->Arg(64)
 
 void BM_DeltaSteppingRmat(benchmark::State& state) {
   const Graph& g = rmat_graph();
+  sssp::DeltaSteppingContext ctx;  // mirrors the Road/Baseline variants
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sssp::delta_stepping(g, 0, {}));
+    benchmark::DoNotOptimize(sssp::delta_stepping(g, 0, {}, &ctx));
   }
 }
 BENCHMARK(BM_DeltaSteppingRmat)->Unit(benchmark::kMillisecond);
@@ -280,6 +442,35 @@ int main(int argc, char** argv) {
   if (branch > 0.0 && split > 0.0) {
     report.put("relax_light_split_speedup", branch / split);
   }
+
+  // Adaptive frontier engine: the representation A/B, the whole-run
+  // adaptive-on/off ratios, and the mode mix of one adaptive run per family
+  // (road = sparse-heavy, rmat = dense-heavy), so regressions in either the
+  // switch threshold or the representations show up in the trajectory.
+  report.put("frontier_dense_fraction", core::FrontierOptions{}.dense_fraction);
+  const double fdense = real_time_of(reporter.runs, "BM_FrontierDense");
+  const double fsparse = real_time_of(reporter.runs, "BM_FrontierSparse");
+  if (fdense > 0.0 && fsparse > 0.0) {
+    report.put("frontier_sparse_speedup", fdense / fsparse);
+  }
+  const double road_on = real_time_of(reporter.runs, "BM_DeltaSteppingRoad");
+  const double road_off =
+      real_time_of(reporter.runs, "BM_DeltaSteppingRoadBaseline");
+  if (road_on > 0.0 && road_off > 0.0) {
+    report.put("delta_adaptive_speedup_road", road_off / road_on);
+  }
+  const double rmat_on = real_time_of(reporter.runs, "BM_DeltaSteppingRmat");
+  const double rmat_off =
+      real_time_of(reporter.runs, "BM_DeltaSteppingRmatBaseline");
+  if (rmat_on > 0.0 && rmat_off > 0.0) {
+    report.put("delta_adaptive_speedup_rmat", rmat_off / rmat_on);
+  }
+  const auto road_run = sssp::delta_stepping(road_graph(), 0, {});
+  report.put("road_sparse_rounds", road_run.stats.sparse_rounds);
+  report.put("road_dense_rounds", road_run.stats.dense_rounds);
+  const auto rmat_run = sssp::delta_stepping(rmat_graph(), 0, {});
+  report.put("rmat_sparse_rounds", rmat_run.stats.sparse_rounds);
+  report.put("rmat_dense_rounds", rmat_run.stats.dense_rounds);
   for (const auto& r : reporter.runs) {
     report.add_row()
         .put("name", r.name)

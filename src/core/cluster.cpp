@@ -61,6 +61,7 @@ Clustering cluster(const Graph& g, const ClusterOptions& opts) {
   if (n == 0) return out;
 
   GrowingEngine engine(g, opts.policy, opts.partition);
+  engine.set_frontier_options(opts.frontier);
   std::vector<std::uint8_t> covered(n, 0);
   // Upper bound on the distance from each center to its cluster's current
   // boundary; newly covered nodes get dist = offset(center) + stage label.

@@ -52,6 +52,10 @@ struct ClusterOptions {
   /// Shard layout for GrowingPolicy::kPartitioned (ignored by kPush/kPull):
   /// number of partitions and hash vs range partitioner.
   mr::PartitionOptions partition;
+  /// Adaptive sparse/dense frontier engine for the growing steps
+  /// (core/frontier.hpp); adaptive=false selects the legacy full-scan
+  /// baseline — same decomposition and work counters either way.
+  FrontierOptions frontier;
   std::uint64_t seed = 1;
 };
 

@@ -31,6 +31,7 @@ Cluster2Result cluster2(const Graph& g, const Cluster2Options& opts) {
                  : (g.min_weight() > 0.0 ? g.min_weight() : 1.0));
 
   GrowingEngine engine(g, opts.base.policy, opts.base.partition);
+  engine.set_frontier_options(opts.base.frontier);
   std::vector<std::uint8_t> covered(n, 0);
   std::vector<std::uint32_t> birth(n, 0);     // iteration a center was born
   std::vector<Weight> budget(n, 0.0);         // per-center growth budget

@@ -27,6 +27,32 @@ void GrowingEngine::reset() {
   scratch_.assign(double_buffered ? n : 0, kUnassignedLabel);
   changed_.assign(n, 0);
   next_changed_.assign(double_buffered ? n : 0, 0);
+  reset_frontier_state();
+}
+
+/// (Re)initializes every piece of adaptive frontier bookkeeping from fopts_
+/// — the single place reset() and set_frontier_options() share, so new
+/// adaptive state cannot be re-initialized on one path and missed on the
+/// other. Kept in sync even when adaptive=false: not a hot path.
+void GrowingEngine::reset_frontier_state() {
+  const NodeId n = g_.num_nodes();
+  afrontier_.reset(n, fopts_);
+  FrontierOptions sparse_only = fopts_;
+  sparse_only.adaptive = false;  // candidate sets stay in the sparse rep
+  rfrontier_.reset(n, sparse_only);
+  touch_round_ = 0;
+  if (policy_ == GrowingPolicy::kPartitioned) {
+    touch_stamp_.assign(n, 0);
+    const std::uint32_t k = partition_->num_partitions();
+    shard_active_.assign(k, {});
+    shard_active_next_.assign(k, {});
+    shard_touched_.assign(k, {});
+  }
+}
+
+void GrowingEngine::set_frontier_options(const FrontierOptions& opts) {
+  fopts_ = opts;
+  reset_frontier_state();
 }
 
 void GrowingEngine::clear_labels() {
@@ -34,6 +60,8 @@ void GrowingEngine::clear_labels() {
   std::fill(changed_.begin(), changed_.end(), 0);
   frontier_.clear();
   frontier_labels_.clear();
+  afrontier_.clear();
+  for (auto& a : shard_active_) a.clear();
 }
 
 void GrowingEngine::set_source(NodeId u, NodeId center, Weight dist) {
@@ -42,6 +70,10 @@ void GrowingEngine::set_source(NodeId u, NodeId center, Weight dist) {
 }
 
 void GrowingEngine::rebuild_frontier(const GrowingStepParams& params) {
+  if (fopts_.adaptive) {
+    rebuild_frontier_adaptive(params);
+    return;
+  }
   frontier_.clear();
   for (NodeId u = 0; u < g_.num_nodes(); ++u) {
     const PackedLabel lab = labels_[u];
@@ -57,6 +89,42 @@ void GrowingEngine::rebuild_frontier(const GrowingStepParams& params) {
   frontier_labels_.assign(frontier_.size(), kUnassignedLabel);
   for (std::size_t i = 0; i < frontier_.size(); ++i) {
     frontier_labels_[i] = labels_[frontier_[i]];
+  }
+}
+
+// The adaptive analogue: re-derive the active set from the labels into the
+// Frontier (and the per-shard lists for kPartitioned). kPush enumerates only
+// nodes that can still propose under `params`; the pull/partitioned senders
+// are every labeled node, exactly the baseline's changed_ = 1 sweep.
+void GrowingEngine::rebuild_frontier_adaptive(const GrowingStepParams& params) {
+  const NodeId n = g_.num_nodes();
+  afrontier_.clear();
+  for (auto& a : shard_active_) a.clear();
+  for (NodeId u = 0; u < n; ++u) {
+    const PackedLabel lab = labels_[u];
+    if (!label_assigned(lab)) continue;
+    if (policy_ == GrowingPolicy::kPush &&
+        !(label_dist(lab) < budget_of(params, label_center(lab)))) {
+      continue;
+    }
+    afrontier_.insert_serial(u);
+    if (policy_ == GrowingPolicy::kPartitioned) {
+      shard_active_[partition_->owner(u)].push_back(u);
+    }
+  }
+  afrontier_.advance();
+  if (policy_ == GrowingPolicy::kPush) snapshot_push_labels();
+}
+
+/// Aligns frontier_labels_ with the adaptive frontier's node list — the
+/// step-start label snapshot the push relaxation reads.
+void GrowingEngine::snapshot_push_labels() {
+  const auto& nodes = afrontier_.nodes();
+  frontier_labels_.resize(nodes.size());
+#pragma omp parallel for schedule(static, 2048)
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    frontier_labels_[i] = std::atomic_ref<PackedLabel>(labels_[nodes[i]])
+                              .load(std::memory_order_relaxed);
   }
 }
 
@@ -80,20 +148,27 @@ GrowingStepResult GrowingEngine::step(const GrowingStepParams& params) {
   if (presplit_) ensure_split(params.light_threshold);
   switch (policy_) {
     case GrowingPolicy::kPush: return step_push(params);
-    case GrowingPolicy::kPartitioned: return step_partitioned(params);
+    case GrowingPolicy::kPartitioned:
+      return fopts_.adaptive ? step_partitioned_adaptive(params)
+                             : step_partitioned(params);
     case GrowingPolicy::kPull:
-    default: return step_pull(params);
+    default:
+      return fopts_.adaptive ? step_pull_adaptive(params) : step_pull(params);
   }
 }
 
 GrowingStepResult GrowingEngine::step_push(const GrowingStepParams& params) {
   GrowingStepResult out;
+  const bool adaptive = fopts_.adaptive;
+  // Adaptive rounds enumerate the Frontier's materialized list; the
+  // baseline keeps its own vector. Same set either way.
+  const std::vector<NodeId>& active = adaptive ? afrontier_.nodes() : frontier_;
   std::uint64_t messages = 0, updates = 0, newly = 0;
 
 #pragma omp parallel for schedule(dynamic, 64) \
     reduction(+ : messages, updates, newly)
-  for (std::size_t f = 0; f < frontier_.size(); ++f) {
-    const NodeId u = frontier_[f];
+  for (std::size_t f = 0; f < active.size(); ++f) {
+    const NodeId u = active[f];
     // Labels are read from the step-start snapshot so the step is exactly
     // one synchronous round of message exchange (MR semantics).
     const PackedLabel lab = frontier_labels_[f];
@@ -121,13 +196,20 @@ GrowingStepResult GrowingEngine::step_push(const GrowingStepParams& params) {
       while (cand < cur) {
         if (slot.compare_exchange_weak(cur, cand,
                                        std::memory_order_relaxed)) {
-          // Count each node once per step: the first winner (flag 0 -> 1)
-          // observed the step-start label, making the counts deterministic.
-          std::atomic_ref<std::uint8_t> flag(in_next_frontier_[v]);
-          if (flag.exchange(1, std::memory_order_relaxed) == 0) {
+          // Count each node once per step: the first winner (frontier stamp
+          // or legacy flag 0 -> 1) observed the step-start label, making the
+          // counts deterministic.
+          bool first;
+          if (adaptive) {
+            first = afrontier_.insert(v);
+          } else {
+            std::atomic_ref<std::uint8_t> flag(in_next_frontier_[v]);
+            first = flag.exchange(1, std::memory_order_relaxed) == 0;
+          }
+          if (first) {
             ++updates;
             if (cur == kUnassignedLabel) ++newly;
-            next_buffers_.local().push_back(v);
+            if (!adaptive) next_buffers_.local().push_back(v);
           }
           break;
         }
@@ -138,6 +220,19 @@ GrowingStepResult GrowingEngine::step_push(const GrowingStepParams& params) {
   out.messages = messages;
   out.updates = updates;
   out.newly_labeled = newly;
+
+  if (adaptive) {
+    // The step is classified by the representation that collected its next
+    // frontier (the round convention of DESIGN.md §7).
+    if (afrontier_.collect_mode() == FrontierMode::kDense) {
+      out.dense_rounds = 1;
+    } else {
+      out.sparse_rounds = 1;
+    }
+    afrontier_.advance();
+    snapshot_push_labels();
+    return out;
+  }
 
   frontier_ = next_buffers_.gather();
   frontier_labels_.resize(frontier_.size());
@@ -200,6 +295,133 @@ GrowingStepResult GrowingEngine::step_pull(const GrowingStepParams& params) {
 
   labels_.swap(scratch_);
   changed_.swap(next_changed_);
+  out.messages = messages;
+  out.updates = updates;
+  out.newly_labeled = newly;
+  return out;
+}
+
+// Adaptive pull. Dense rounds run the same full-length Jacobi sweep as the
+// baseline (sender membership answered by frontier stamps instead of the
+// changed_ bytes — contains() stays stable while the round's dense bitmap
+// collects). Sparse rounds restrict the sweep to *receiver candidates*: the
+// light neighbors of the senders. Every proposal the dense sweep would count
+// originates at a sender with an assigned, within-budget label and travels a
+// light edge, so the candidate set covers every node that could receive a
+// message — restricting the scan changes no counter and no label, only the
+// number of segments touched (O(frontier volume) instead of O(n + m)).
+GrowingStepResult GrowingEngine::step_pull_adaptive(
+    const GrowingStepParams& params) {
+  GrowingStepResult out;
+  const NodeId n = g_.num_nodes();
+  std::uint64_t messages = 0, updates = 0, newly = 0;
+  const bool dense = afrontier_.collect_mode() == FrontierMode::kDense;
+
+  if (dense) {
+    out.dense_rounds = 1;
+#pragma omp parallel for schedule(dynamic, 1024) \
+    reduction(+ : messages, updates, newly)
+    for (NodeId v = 0; v < n; ++v) {
+      if (blocked_[v]) {
+        scratch_[v] = labels_[v];
+        continue;
+      }
+      PackedLabel best = labels_[v];
+      const auto nbr = presplit_ ? split_.light_neighbors(v) : g_.neighbors(v);
+      const auto wts = presplit_ ? split_.light_weights(v) : g_.weights(v);
+      for (std::size_t i = 0; i < nbr.size(); ++i) {
+        const NodeId u = nbr[i];
+        if (!afrontier_.contains(u)) continue;  // unchanged since last step
+        const Weight w = wts[i];
+        if (!presplit_ && w > params.light_threshold) continue;
+        const PackedLabel lab = labels_[u];
+        if (!label_assigned(lab)) continue;
+        const float b = label_dist(lab);
+        const NodeId c = label_center(lab);
+        const Weight budget = budget_of(params, c);
+        if (!(static_cast<Weight>(b) < budget)) continue;
+        const Weight nb = static_cast<Weight>(b) + w;
+        if (nb > budget) continue;
+        ++messages;
+        best = std::min(best, pack_label(static_cast<float>(nb), c));
+      }
+      scratch_[v] = best;
+      if (best != labels_[v]) {
+        ++updates;
+        if (labels_[v] == kUnassignedLabel) ++newly;
+        afrontier_.insert(v);
+      }
+    }
+    labels_.swap(scratch_);
+  } else {
+    out.sparse_rounds = 1;
+    // Candidate marking: light neighbors of every sender that could propose.
+    const auto& senders = afrontier_.nodes();
+#pragma omp parallel for schedule(dynamic, 64)
+    for (std::size_t s = 0; s < senders.size(); ++s) {
+      const NodeId u = senders[s];
+      const PackedLabel lab = labels_[u];
+      if (!label_assigned(lab)) continue;
+      if (!(static_cast<Weight>(label_dist(lab)) <
+            budget_of(params, label_center(lab)))) {
+        continue;
+      }
+      const auto nbr = presplit_ ? split_.light_neighbors(u) : g_.neighbors(u);
+      const auto wts = presplit_ ? split_.light_weights(u) : g_.weights(u);
+      for (std::size_t i = 0; i < nbr.size(); ++i) {
+        if (!presplit_ && wts[i] > params.light_threshold) continue;
+        const NodeId v = nbr[i];
+        if (!blocked_[v]) rfrontier_.insert(v);
+      }
+    }
+    rfrontier_.advance();
+    const auto& recv = rfrontier_.nodes();
+    pull_best_.resize(recv.size());
+
+    // Phase A — pure reads of the step-start labels (Jacobi semantics): the
+    // exact inner loop of the dense sweep, per candidate.
+#pragma omp parallel for schedule(dynamic, 256) reduction(+ : messages)
+    for (std::size_t r = 0; r < recv.size(); ++r) {
+      const NodeId v = recv[r];
+      PackedLabel best = labels_[v];
+      const auto nbr = presplit_ ? split_.light_neighbors(v) : g_.neighbors(v);
+      const auto wts = presplit_ ? split_.light_weights(v) : g_.weights(v);
+      for (std::size_t i = 0; i < nbr.size(); ++i) {
+        const NodeId u = nbr[i];
+        if (!afrontier_.contains(u)) continue;
+        const Weight w = wts[i];
+        if (!presplit_ && w > params.light_threshold) continue;
+        const PackedLabel lab = labels_[u];
+        if (!label_assigned(lab)) continue;
+        const float b = label_dist(lab);
+        const NodeId c = label_center(lab);
+        const Weight budget = budget_of(params, c);
+        if (!(static_cast<Weight>(b) < budget)) continue;
+        const Weight nb = static_cast<Weight>(b) + w;
+        if (nb > budget) continue;
+        ++messages;
+        best = std::min(best, pack_label(static_cast<float>(nb), c));
+      }
+      pull_best_[r] = best;
+    }
+
+    // Phase B — commit. Candidates are deduplicated, so each v has exactly
+    // one writer; labels of non-candidates cannot change.
+#pragma omp parallel for schedule(static, 2048) reduction(+ : updates, newly)
+    for (std::size_t r = 0; r < recv.size(); ++r) {
+      const NodeId v = recv[r];
+      const PackedLabel best = pull_best_[r];
+      const PackedLabel old = labels_[v];
+      if (best != old) {
+        labels_[v] = best;
+        ++updates;
+        if (old == kUnassignedLabel) ++newly;
+        afrontier_.insert(v);
+      }
+    }
+  }
+
+  afrontier_.advance();
   out.messages = messages;
   out.updates = updates;
   out.newly_labeled = newly;
@@ -298,6 +520,133 @@ GrowingStepResult GrowingEngine::step_partitioned(
 
   labels_.swap(scratch_);
   changed_.swap(next_changed_);
+  for (std::uint32_t s = 0; s < k; ++s) {
+    out.messages += shard_messages[s];
+    out.updates += shard_updates[s];
+    out.newly_labeled += shard_newly[s];
+  }
+  out.cross_messages = traffic.cross_messages;
+  out.cross_bytes = traffic.cross_bytes;
+  return out;
+}
+
+// The adaptive superstep drops both full-vertex-range passes of the
+// baseline: the O(n) labels -> scratch snapshot (scratch slots initialize
+// lazily, on a node's first proposal of the step, tracked by a touch stamp)
+// and the O(n) owned-range commit scan (only touched slots can differ).
+// Senders enumerate per-shard active lists on sparse rounds and fall back to
+// the owned-range scan with a frontier membership test on dense ones. Labels
+// commit in place — the min over {step-start label} ∪ proposals is exactly
+// the baseline's swapped scratch content.
+GrowingStepResult GrowingEngine::step_partitioned_adaptive(
+    const GrowingStepParams& params) {
+  GrowingStepResult out;
+  const std::uint32_t k = partition_->num_partitions();
+  const bool dense = afrontier_.collect_mode() == FrontierMode::kDense;
+  (dense ? out.dense_rounds : out.sparse_rounds) = 1;
+
+  if (++touch_round_ == 0) {  // stamp generation wraparound: rebase
+    std::fill(touch_stamp_.begin(), touch_stamp_.end(), 0);
+    touch_round_ = 1;
+  }
+
+  std::vector<std::uint64_t> shard_messages(k, 0);
+  std::vector<std::uint64_t> shard_updates(k, 0);
+  std::vector<std::uint64_t> shard_newly(k, 0);
+
+  auto compute = [&](const mr::Shard& sh, mr::Exchange<LabelProposal>& ex) {
+    std::uint64_t messages = 0;
+    const CsrSplit* ss = presplit_ ? &shard_splits_[sh.id] : nullptr;
+    const NodeId* tgt = presplit_ ? ss->targets.data() : sh.targets.data();
+    const Weight* wt = presplit_ ? ss->weights.data() : sh.weights.data();
+    auto& touched = shard_touched_[sh.id];
+    touched.clear();
+
+    // Owned-target proposal with lazy scratch initialization.
+    auto propose = [&](NodeId v, PackedLabel cand) {
+      if (touch_stamp_[v] != touch_round_) {
+        touch_stamp_[v] = touch_round_;
+        scratch_[v] = labels_[v];
+        touched.push_back(v);
+      }
+      scratch_[v] = std::min(scratch_[v], cand);
+    };
+    auto relax_from = [&](NodeId u, NodeId l) {
+      const PackedLabel lab = labels_[u];
+      if (!label_assigned(lab)) return;
+      const float b = label_dist(lab);
+      const NodeId c = label_center(lab);
+      const Weight budget = budget_of(params, c);
+      if (!(static_cast<Weight>(b) < budget)) return;
+      const EdgeIndex lo = sh.offsets[l];
+      const EdgeIndex hi = presplit_ ? ss->split[l] : sh.offsets[l + 1];
+      for (EdgeIndex i = lo; i < hi; ++i) {
+        const Weight w = wt[i];
+        if (!presplit_ && w > params.light_threshold) continue;
+        const Weight nb = static_cast<Weight>(b) + w;
+        if (nb > budget) continue;
+        const NodeId tl = tgt[i];
+        const NodeId v = sh.global_of_local[tl];
+        if (blocked_[v]) continue;
+        ++messages;
+        const PackedLabel cand = pack_label(static_cast<float>(nb), c);
+        if (!sh.is_ghost(tl)) {
+          propose(v, cand);
+        } else {
+          ex.send(sh.id, sh.ghost_owner[tl - sh.num_owned],
+                  LabelProposal{partition_->local_id(v), cand});
+        }
+      }
+    };
+
+    if (dense) {
+      for (NodeId l = 0; l < sh.num_owned; ++l) {
+        const NodeId u = sh.global_of_local[l];
+        if (!afrontier_.contains(u)) continue;
+        relax_from(u, l);
+      }
+    } else {
+      for (const NodeId u : shard_active_[sh.id]) {
+        relax_from(u, partition_->local_id(u));
+      }
+    }
+    shard_messages[sh.id] = messages;
+  };
+
+  auto apply = [&](const mr::Shard& sh,
+                   std::span<const LabelProposal> inbox) {
+    auto& touched = shard_touched_[sh.id];
+    for (const LabelProposal& m : inbox) {
+      const NodeId v = sh.global_of_local[m.target];
+      if (touch_stamp_[v] != touch_round_) {
+        touch_stamp_[v] = touch_round_;
+        scratch_[v] = labels_[v];
+        touched.push_back(v);
+      }
+      scratch_[v] = std::min(scratch_[v], m.label);
+    }
+    // Commit: only touched slots can differ from the step-start labels.
+    auto& next = shard_active_next_[sh.id];
+    next.clear();
+    std::uint64_t updates = 0, newly = 0;
+    for (const NodeId v : touched) {
+      if (scratch_[v] != labels_[v]) {
+        ++updates;
+        if (labels_[v] == kUnassignedLabel) ++newly;
+        labels_[v] = scratch_[v];
+        afrontier_.insert_serial(v);
+        next.push_back(v);
+      }
+    }
+    shard_updates[sh.id] = updates;
+    shard_newly[sh.id] = newly;
+  };
+
+  const mr::ExchangeCounters traffic =
+      bsp_->superstep(exchange_, compute, apply);
+
+  shard_active_.swap(shard_active_next_);
+  afrontier_.advance();
   for (std::uint32_t s = 0; s < k; ++s) {
     out.messages += shard_messages[s];
     out.updates += shard_updates[s];

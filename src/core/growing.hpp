@@ -21,9 +21,12 @@
 // Three execution policies produce bit-identical labels per step:
 //   * kPush — frontier-driven: only nodes whose label changed in the previous
 //     step send proposals; conflicts resolved by atomic min. Fast path.
-//   * kPull — dense synchronous Jacobi sweep into a double buffer; the
-//     MR-faithful formulation (each step is literally one round of message
-//     exchange). Reference implementation for tests and ablations.
+//   * kPull — synchronous Jacobi sweep; the MR-faithful formulation (each
+//     step is literally one round of message exchange). Reference
+//     implementation for tests and ablations. Under the adaptive frontier
+//     engine (core/frontier.hpp, on by default) sparse rounds restrict the
+//     sweep to receiver candidates — the light neighbors of the senders —
+//     and only dense rounds pay the classic full-length scan.
 //   * kPartitioned — the step executed on the sharded BSP engine
 //     (mr/bsp_engine.hpp): each shard relaxes its owned nodes locally and
 //     routes proposals for remote nodes through a typed exchange, so the
@@ -39,6 +42,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/frontier.hpp"
 #include "core/labels.hpp"
 #include "graph/graph.hpp"
 #include "graph/split_csr.hpp"
@@ -81,6 +85,12 @@ struct GrowingStepResult {
   /// (kPartitioned only; a subset of `messages`, zero for K = 1).
   std::uint64_t cross_messages = 0;
   std::uint64_t cross_bytes = 0;
+  /// Round classification under the adaptive frontier engine
+  /// (core/frontier.hpp): exactly one of the two is 1 per adaptive step,
+  /// both 0 on the adaptive=false baseline. run() folds them into the
+  /// RoundStats mode counters so benches can report the sparse/dense mix.
+  std::uint64_t sparse_rounds = 0;
+  std::uint64_t dense_rounds = 0;
 };
 
 class GrowingEngine {
@@ -138,6 +148,22 @@ class GrowingEngine {
   }
   [[nodiscard]] bool presplit() const noexcept { return presplit_; }
 
+  /// Configures the adaptive sparse/dense frontier engine
+  /// (core/frontier.hpp). On (the default), every policy maintains its
+  /// active set through a Frontier — kPush collects the next frontier with
+  /// stamp dedup, kPull runs candidate-restricted sparse rounds below the
+  /// dense threshold and the full sweep above it, kPartitioned enumerates
+  /// per-shard active lists instead of snapshotting the full vertex range
+  /// per superstep. `adaptive = false` keeps the legacy full-scan/gather
+  /// paths; labels and all counters are bit-identical either way (enforced
+  /// by tests/test_frontier.cpp). Resets the frontier bookkeeping (labels
+  /// and blocks survive): call before rebuild_frontier, like a Δ change.
+  void set_frontier_options(const FrontierOptions& opts);
+  [[nodiscard]] const FrontierOptions& frontier_options() const noexcept {
+    return fopts_;
+  }
+  [[nodiscard]] bool adaptive() const noexcept { return fopts_.adaptive; }
+
   /// Aggregate outcome of a run of Δ-growing steps.
   struct RunResult {
     GrowingStepResult totals;
@@ -164,11 +190,15 @@ class GrowingEngine {
       stats.node_updates += r.updates;
       stats.cross_messages += r.cross_messages;
       stats.cross_bytes += r.cross_bytes;
+      stats.sparse_rounds += r.sparse_rounds;
+      stats.dense_rounds += r.dense_rounds;
       out.totals.messages += r.messages;
       out.totals.updates += r.updates;
       out.totals.newly_labeled += r.newly_labeled;
       out.totals.cross_messages += r.cross_messages;
       out.totals.cross_bytes += r.cross_bytes;
+      out.totals.sparse_rounds += r.sparse_rounds;
+      out.totals.dense_rounds += r.dense_rounds;
       if (r.updates == 0) {
         out.fixpoint = true;
         break;
@@ -190,7 +220,13 @@ class GrowingEngine {
  private:
   GrowingStepResult step_push(const GrowingStepParams& params);
   GrowingStepResult step_pull(const GrowingStepParams& params);
+  GrowingStepResult step_pull_adaptive(const GrowingStepParams& params);
   GrowingStepResult step_partitioned(const GrowingStepParams& params);
+  GrowingStepResult step_partitioned_adaptive(const GrowingStepParams& params);
+
+  void rebuild_frontier_adaptive(const GrowingStepParams& params);
+  void snapshot_push_labels();
+  void reset_frontier_state();
 
   /// (Re)builds the split caches for `threshold` if missing or stale.
   void ensure_split(Weight threshold);
@@ -219,6 +255,16 @@ class GrowingEngine {
   std::unique_ptr<mr::Partition> partition_;
   std::unique_ptr<mr::BspEngine> bsp_;
   mr::Exchange<LabelProposal> exchange_;
+  // adaptive frontier engine state (fopts_.adaptive, the default)
+  FrontierOptions fopts_;
+  Frontier afrontier_;  // active set: push = proposers, pull/bsp = changed
+  Frontier rfrontier_;  // sparse pull rounds: receiver candidates
+  std::vector<PackedLabel> pull_best_;  // aligned with rfrontier_.nodes()
+  std::vector<std::uint32_t> touch_stamp_;  // partitioned: lazy scratch init
+  std::uint32_t touch_round_ = 0;
+  std::vector<std::vector<NodeId>> shard_active_;       // changed, per shard
+  std::vector<std::vector<NodeId>> shard_active_next_;
+  std::vector<std::vector<NodeId>> shard_touched_;
   // Δ-presplit adjacency, cached per light_threshold (rebuilt when a stage
   // changes the threshold, not per step)
   bool presplit_ = true;

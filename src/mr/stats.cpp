@@ -16,10 +16,16 @@ std::string to_string(const RoundStats& s) {
                           static_cast<double>(s.node_updates),
                           static_cast<double>(s.work()));
   if (s.cross_messages != 0 || s.cross_bytes != 0) {
+    len += std::snprintf(buf + len, sizeof buf - static_cast<std::size_t>(len),
+                         " cross=%.3emsg/%.3eB",
+                         static_cast<double>(s.cross_messages),
+                         static_cast<double>(s.cross_bytes));
+  }
+  if (s.sparse_rounds != 0 || s.dense_rounds != 0) {
     std::snprintf(buf + len, sizeof buf - static_cast<std::size_t>(len),
-                  " cross=%.3emsg/%.3eB",
-                  static_cast<double>(s.cross_messages),
-                  static_cast<double>(s.cross_bytes));
+                  " modes=%lluS/%lluD",
+                  static_cast<unsigned long long>(s.sparse_rounds),
+                  static_cast<unsigned long long>(s.dense_rounds));
   }
   return buf;
 }

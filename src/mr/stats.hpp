@@ -36,6 +36,14 @@ struct RoundStats {
   std::uint64_t cross_messages = 0;
   /// Serialized payload bytes of those cross-partition messages.
   std::uint64_t cross_bytes = 0;
+  /// Relaxation rounds whose frontier was collected in the sparse
+  /// (thread-local queue) vs dense (bitmap) representation of the adaptive
+  /// frontier engine (core/frontier.hpp). Observability counters for the
+  /// bench mode-mix reports: both stay 0 on the adaptive=false baselines,
+  /// so parity suites compare the work counters above field-by-field and pin
+  /// these two separately (tests/test_frontier.cpp).
+  std::uint64_t sparse_rounds = 0;
+  std::uint64_t dense_rounds = 0;
 
   [[nodiscard]] std::uint64_t rounds() const noexcept {
     return relaxation_rounds + auxiliary_rounds;
@@ -53,6 +61,8 @@ struct RoundStats {
     node_updates += other.node_updates;
     cross_messages += other.cross_messages;
     cross_bytes += other.cross_bytes;
+    sparse_rounds += other.sparse_rounds;
+    dense_rounds += other.dense_rounds;
     return *this;
   }
 
@@ -65,8 +75,9 @@ struct RoundStats {
 };
 
 /// "rounds=74 messages=4.2e+08 updates=1.1e+07 work=4.3e+08
-///  cross=1.0e+06msg/1.6e+07B" — for logs; the cross part appears only when
-/// a partitioned backend recorded traffic.
+///  cross=1.0e+06msg/1.6e+07B modes=61S/13D" — for logs; the cross part
+/// appears only when a partitioned backend recorded traffic, the modes part
+/// only when the adaptive frontier engine classified rounds.
 [[nodiscard]] std::string to_string(const RoundStats& s);
 
 }  // namespace gdiam::mr

@@ -5,9 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
-#include "graph/split_csr.hpp"
 #include "mr/bsp_engine.hpp"
-#include "mr/exchange.hpp"
 #include "util/bitpack.hpp"
 #include "util/parallel.hpp"
 
@@ -15,16 +13,23 @@ namespace gdiam::sssp {
 
 namespace {
 
-/// Cyclic bucket array. At any time all queued nodes live in absolute
-/// bucket indices [current, current + span), with span bounded by
-/// ceil(max_weight / Δ) + 2, so `size >= span + 1` guarantees one absolute
-/// index per slot.
+/// Cyclic bucket array over pooled storage (RoundBuffers). At any time all
+/// queued nodes live in absolute bucket indices [current, current + span),
+/// with span bounded by ceil(max_weight / Δ) + 2, so `slots.size() >= span`
+/// guarantees one absolute index per slot (a larger pooled array from an
+/// earlier run only spreads the indices further apart).
 class Buckets {
  public:
-  Buckets(std::size_t slots, NodeId n)
-      : slots_(slots), queued_bucket_(n, kNoBucket) {}
-
   static constexpr std::uint64_t kNoBucket = ~0ULL;
+
+  Buckets(std::vector<std::vector<NodeId>>& slots,
+          std::vector<std::uint64_t>& queued_bucket, std::size_t span,
+          NodeId n)
+      : slots_(slots), queued_bucket_(queued_bucket) {
+    if (slots_.size() < span) slots_.resize(span);
+    for (auto& s : slots_) s.clear();  // keep capacity, drop stale content
+    queued_bucket_.assign(n, kNoBucket);
+  }
 
   void push(NodeId v, std::uint64_t abs_index) {
     if (queued_bucket_[v] == abs_index) return;  // already queued there
@@ -34,13 +39,13 @@ class Buckets {
     max_abs_ = std::max(max_abs_, abs_index);
   }
 
-  /// Drains slot for `abs_index`; caller filters stale entries.
-  std::vector<NodeId> drain(std::uint64_t abs_index) {
+  /// Drains slot for `abs_index` into `out` (swapping buffers so slot and
+  /// list capacities recycle); caller filters stale entries.
+  void drain_into(std::uint64_t abs_index, std::vector<NodeId>& out) {
     auto& slot = slots_[abs_index % slots_.size()];
-    std::vector<NodeId> out;
     out.swap(slot);
+    slot.clear();
     queued_ -= out.size();
-    return out;
   }
 
   [[nodiscard]] bool slot_empty(std::uint64_t abs_index) const noexcept {
@@ -55,37 +60,114 @@ class Buckets {
   void clear_marker(NodeId v) noexcept { queued_bucket_[v] = kNoBucket; }
 
  private:
-  std::vector<std::vector<NodeId>> slots_;
-  std::vector<std::uint64_t> queued_bucket_;
+  std::vector<std::vector<NodeId>>& slots_;
+  std::vector<std::uint64_t>& queued_bucket_;
   std::uint64_t queued_ = 0;
   std::uint64_t max_abs_ = 0;
 };
 
 enum class EdgeKind { kLight, kHeavy };
 
-/// One cross-shard relaxation request: "lower dist of your node `target`
-/// (destination-local id) to the order-encoded distance `bits`". Packed so
-/// the exchange's sizeof-based byte accounting reports the 12 serialized
-/// bytes, not 16 with padding.
-struct [[gnu::packed]] DistProposal {
-  NodeId target = 0;
-  std::uint64_t bits = 0;
-};
-static_assert(sizeof(DistProposal) == 12);
-
 }  // namespace
 
+void RoundBuffers::reset(NodeId n, const core::FrontierOptions& opts) {
+  improved.reset(n, opts);
+  if (stamps.size() != static_cast<std::size_t>(n)) {
+    stamps.assign(n, 0);
+    stamp_round = 0;
+  }
+  drained.clear();
+  active.clear();
+  settled.clear();
+  snapshot.clear();
+  changed.clear();
+  // dist_bits / bucket arrays are (re)assigned by the run itself; exchange
+  // scratch lazily by the partitioned path. Capacities survive throughout.
+}
+
+void RoundBuffers::new_stamp_round() {
+  if (++stamp_round == 0) {  // generation wraparound: rebase
+    std::fill(stamps.begin(), stamps.end(), 0);
+    stamp_round = 1;
+  }
+}
+
+bool RoundBuffers::stamp_once(NodeId v) {
+  if (stamps[v] == stamp_round) return false;
+  stamps[v] = stamp_round;
+  return true;
+}
+
+const SplitCsr& DeltaSteppingContext::split_for(const Graph& g, Weight delta) {
+  // The pointer alone could alias a destroyed graph reallocated at the same
+  // address; the structural key (n, arcs) catches the common shapes of that
+  // accident. It is a guard, not a guarantee — the documented contract is
+  // that a cached graph outlives the context unchanged (same as Graph&).
+  if (split_graph_ != &g || split_nodes_ != g.num_nodes() ||
+      split_arcs_ != g.num_directed_edges() || split_delta_ != delta ||
+      split_.empty()) {
+    split_ = SplitCsr(g, delta);
+    split_graph_ = &g;
+    split_nodes_ = g.num_nodes();
+    split_arcs_ = g.num_directed_edges();
+    split_delta_ = delta;
+  }
+  return split_;
+}
+
+const mr::Partition& DeltaSteppingContext::partition_for(
+    const Graph& g, const mr::PartitionOptions& opts) {
+  if (part_ == nullptr || part_graph_ != &g ||
+      part_nodes_ != g.num_nodes() || part_arcs_ != g.num_directed_edges() ||
+      part_opts_.num_partitions != opts.num_partitions ||
+      part_opts_.strategy != opts.strategy) {
+    part_ = std::make_unique<mr::Partition>(g, opts);
+    part_graph_ = &g;
+    part_nodes_ = g.num_nodes();
+    part_arcs_ = g.num_directed_edges();
+    part_opts_ = opts;
+    shard_split_part_ = nullptr;  // dependent cache is now stale
+  }
+  return *part_;
+}
+
+const std::vector<CsrSplit>& DeltaSteppingContext::shard_splits_for(
+    const mr::Partition& part, Weight delta) {
+  if (shard_split_part_ != &part || shard_split_delta_ != delta) {
+    shard_splits_.clear();
+    shard_splits_.reserve(part.num_partitions());
+    for (const mr::Shard& sh : part.shards()) {
+      shard_splits_.push_back(
+          presplit_csr(sh.offsets, sh.targets, sh.weights, delta));
+    }
+    shard_split_part_ = &part;
+    shard_split_delta_ = delta;
+  }
+  return shard_splits_;
+}
+
 DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
-                                   const DeltaSteppingOptions& opts) {
+                                   const DeltaSteppingOptions& opts,
+                                   DeltaSteppingContext* ctx) {
   const NodeId n = g.num_nodes();
   if (source >= n) throw std::out_of_range("delta_stepping: bad source");
+
+  // All round-lifetime scratch lives in the context's RoundBuffers pool —
+  // allocated once per run, and reused across runs when the caller passes a
+  // long-lived context (sweep iterations, multi-source benches).
+  DeltaSteppingContext local_ctx;
+  DeltaSteppingContext& C = ctx != nullptr ? *ctx : local_ctx;
+  RoundBuffers& rb = C.buffers;
+  const bool adaptive = opts.frontier.adaptive;
+  rb.reset(n, opts.frontier);
 
   DeltaSteppingResult out;
   Weight delta = opts.delta > 0.0 ? opts.delta : g.avg_weight();
   if (delta <= 0.0) delta = 1.0;  // edgeless graph: any value works
   out.delta_used = delta;
 
-  std::vector<std::uint64_t> dist_bits(n, util::kInfDoubleBits);
+  std::vector<std::uint64_t>& dist_bits = rb.dist_bits;
+  dist_bits.assign(n, util::kInfDoubleBits);
   dist_bits[source] = util::double_order_bits(0.0);
   auto dist_of = [&](NodeId v) {
     return util::double_from_order_bits(
@@ -98,49 +180,50 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
 
   const std::size_t span =
       static_cast<std::size_t>(std::ceil(g.max_weight() / delta)) + 3;
-  Buckets buckets(span, n);
+  Buckets buckets(rb.bucket_slots, rb.bucket_queued, span, n);
   buckets.push(source, 0);
 
+  // The adaptive=false baseline keeps the legacy improved-set machinery:
+  // per-thread gather buffers plus a byte flag per node, reset after every
+  // phase. The adaptive path replaces all of it with rb.improved's round
+  // stamps (tests/test_frontier.cpp pins the two bit-identical).
   util::ThreadBuffers<NodeId> improved;
-  std::vector<std::uint8_t> in_improved(n, 0);
+  std::vector<std::uint8_t> in_improved;
+  std::vector<NodeId> baseline_changed;
+  if (!adaptive) in_improved.assign(n, 0);
 
   // Partitioned BSP backend (opts.partition.num_partitions > 1): relaxation
-  // phases run as supersteps on K shards instead of one flat loop.
-  std::unique_ptr<mr::Partition> part;
+  // phases run as supersteps on K shards instead of one flat loop. The shard
+  // layout is cached in the context, the staging scratch in RoundBuffers.
+  const mr::Partition* part = nullptr;
   std::unique_ptr<mr::BspEngine> bsp;
-  mr::Exchange<DistProposal> exchange;
-  // Per-phase staging for relax_bsp, hoisted like `improved`/`in_improved`
-  // so steady-state phases allocate nothing.
-  std::vector<std::vector<std::pair<NodeId, Weight>>> by_shard;
-  std::vector<std::uint64_t> shard_messages, shard_updates;
-  std::vector<std::vector<NodeId>> shard_improved;
   if (opts.partition.num_partitions > 1 && n > 0) {
-    part = std::make_unique<mr::Partition>(g, opts.partition);
+    part = &C.partition_for(g, opts.partition);
     bsp = std::make_unique<mr::BspEngine>(*part);
     const std::uint32_t k = part->num_partitions();
-    exchange.resize(k);
-    by_shard.resize(k);
-    shard_messages.resize(k);
-    shard_updates.resize(k);
-    shard_improved.resize(k);
+    if (rb.exchange.num_partitions() != k) {
+      rb.exchange.resize(k);
+      rb.by_shard.assign(k, {});
+      rb.shard_improved.assign(k, {});
+    } else {
+      rb.exchange.clear();
+    }
+    rb.shard_messages.assign(k, 0);
+    rb.shard_updates.assign(k, 0);
     out.partitions_used = k;
   }
 
-  // Δ-presplit adjacency (graph/split_csr.hpp): one O(m) light-first reorder
-  // up front, amortized over every relaxation phase of the run. The flat
-  // kernel splits the graph's CSR; the partitioned one splits each shard's
-  // CSR, so both backends see the same per-node split offsets.
-  SplitCsr split;
-  std::vector<CsrSplit> shard_splits;
+  // Δ-presplit adjacency (graph/split_csr.hpp): one O(m) light-first reorder,
+  // cached in the context so equal-Δ repetitions (sweeps) presplit once. The
+  // flat kernel splits the graph's CSR; the partitioned one splits each
+  // shard's CSR, so both backends see the same per-node split offsets.
+  const SplitCsr* split = nullptr;
+  const std::vector<CsrSplit>* shard_splits = nullptr;
   if (opts.presplit) {
     if (part == nullptr) {
-      split = SplitCsr(g, delta);
+      split = &C.split_for(g, delta);
     } else {
-      shard_splits.reserve(part->num_partitions());
-      for (const mr::Shard& sh : part->shards()) {
-        shard_splits.push_back(
-            presplit_csr(sh.offsets, sh.targets, sh.weights, delta));
-      }
+      shard_splits = &C.shard_splits_for(*part, delta);
     }
   }
 
@@ -148,10 +231,11 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
   // start, so the phase is one synchronous round and all counters are
   // independent of thread interleaving); returns the distinct nodes whose
   // tentative distance improved.
-  auto relax_flat = [&](const std::vector<std::pair<NodeId, Weight>>& frontier,
-                        EdgeKind kind) {
+  auto relax_flat =
+      [&](const std::vector<std::pair<NodeId, Weight>>& frontier,
+          EdgeKind kind) -> const std::vector<NodeId>& {
     std::uint64_t messages = 0, updates = 0;
-    const bool use_split = !split.empty();
+    const bool use_split = split != nullptr;
 #pragma omp parallel for schedule(dynamic, 64) reduction(+ : messages, updates)
     for (std::size_t f = 0; f < frontier.size(); ++f) {
       const auto [u, du] = frontier[f];
@@ -159,10 +243,10 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
       std::span<const Weight> wts;
       if (use_split) {
         // Exactly the arcs of this class: no per-edge branch, no double scan.
-        nbr = kind == EdgeKind::kLight ? split.light_neighbors(u)
-                                       : split.heavy_neighbors(u);
-        wts = kind == EdgeKind::kLight ? split.light_weights(u)
-                                       : split.heavy_weights(u);
+        nbr = kind == EdgeKind::kLight ? split->light_neighbors(u)
+                                       : split->heavy_neighbors(u);
+        wts = kind == EdgeKind::kLight ? split->light_weights(u)
+                                       : split->heavy_weights(u);
       } else {
         nbr = g.neighbors(u);
         wts = g.weights(u);
@@ -173,20 +257,31 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
         ++messages;
         const std::uint64_t nd = util::double_order_bits(du + w);
         if (util::atomic_fetch_min(dist_bits[nbr[i]], nd)) {
-          // Count each improved node once per phase (first winner only).
-          std::atomic_ref<std::uint8_t> flag(in_improved[nbr[i]]);
-          if (flag.exchange(1, std::memory_order_relaxed) == 0) {
+          // Count each improved node once per phase (first winner only):
+          // frontier stamp or legacy flag, same set either way.
+          bool first;
+          if (adaptive) {
+            first = rb.improved.insert(nbr[i]);
+          } else {
+            std::atomic_ref<std::uint8_t> flag(in_improved[nbr[i]]);
+            first = flag.exchange(1, std::memory_order_relaxed) == 0;
+          }
+          if (first) {
             ++updates;
-            improved.local().push_back(nbr[i]);
+            if (!adaptive) improved.local().push_back(nbr[i]);
           }
         }
       }
     }
     out.stats.messages += messages;
     out.stats.node_updates += updates;
-    auto changed = improved.gather();
-    for (const NodeId v : changed) in_improved[v] = 0;
-    return changed;
+    if (adaptive) {
+      rb.improved.advance();
+      return rb.improved.nodes();
+    }
+    baseline_changed = improved.gather();
+    for (const NodeId v : baseline_changed) in_improved[v] = 0;
+    return baseline_changed;
   };
 
   // Same phase as one BSP superstep: each shard relaxes the frontier nodes
@@ -196,24 +291,32 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
   // way. The per-phase min-reduction fixpoint — and hence every distance and
   // counter — is identical to relax_flat.
   auto relax_bsp = [&](const std::vector<std::pair<NodeId, Weight>>& frontier,
-                       EdgeKind kind) {
+                       EdgeKind kind) -> const std::vector<NodeId>& {
     const std::uint32_t k = part->num_partitions();
     for (std::uint32_t s = 0; s < k; ++s) {
-      by_shard[s].clear();
-      shard_messages[s] = 0;
-      shard_updates[s] = 0;
-      shard_improved[s].clear();
+      rb.by_shard[s].clear();
+      rb.shard_messages[s] = 0;
+      rb.shard_updates[s] = 0;
+      if (!adaptive) rb.shard_improved[s].clear();
     }
-    for (const auto& e : frontier) by_shard[part->owner(e.first)].push_back(e);
+    for (const auto& e : frontier) {
+      rb.by_shard[part->owner(e.first)].push_back(e);
+    }
 
     // Lower the owned node v to `nd`; single-writer per shard, no atomics.
     auto lower = [&](mr::ShardId s, NodeId v, std::uint64_t nd) {
       if (nd < dist_bits[v]) {
         dist_bits[v] = nd;
-        if (in_improved[v] == 0) {
-          in_improved[v] = 1;
-          shard_updates[s]++;
-          shard_improved[s].push_back(v);
+        bool first;
+        if (adaptive) {
+          first = rb.improved.insert_serial(v);
+        } else {
+          first = in_improved[v] == 0;
+          if (first) in_improved[v] = 1;
+        }
+        if (first) {
+          rb.shard_updates[s]++;
+          if (!adaptive) rb.shard_improved[s].push_back(v);
         }
       }
     };
@@ -223,12 +326,12 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
       // With presplit, iterate only the [light | heavy] half of the shard's
       // permuted segment; otherwise branch-filter the original shard CSR.
       const CsrSplit* ss =
-          shard_splits.empty() ? nullptr : &shard_splits[sh.id];
+          shard_splits == nullptr ? nullptr : &(*shard_splits)[sh.id];
       const NodeId* tgt = ss != nullptr ? ss->targets.data()
                                         : sh.targets.data();
       const Weight* wt = ss != nullptr ? ss->weights.data()
                                        : sh.weights.data();
-      for (const auto& [u, du] : by_shard[sh.id]) {
+      for (const auto& [u, du] : rb.by_shard[sh.id]) {
         const NodeId l = part->local_id(u);
         EdgeIndex lo = sh.offsets[l];
         EdgeIndex hi = sh.offsets[l + 1];
@@ -252,7 +355,7 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
           }
         }
       }
-      shard_messages[sh.id] = messages;
+      rb.shard_messages[sh.id] = messages;
     };
     auto apply = [&](const mr::Shard& sh,
                      std::span<const DistProposal> inbox) {
@@ -260,30 +363,47 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
         lower(sh.id, sh.global_of_local[m.target], m.bits);
       }
     };
-    bsp->superstep(exchange, compute, apply, &out.stats);
+    bsp->superstep(rb.exchange, compute, apply, &out.stats);
 
-    std::vector<NodeId> changed;
     for (std::uint32_t s = 0; s < k; ++s) {
-      out.stats.messages += shard_messages[s];
-      out.stats.node_updates += shard_updates[s];
-      changed.insert(changed.end(), shard_improved[s].begin(),
-                     shard_improved[s].end());
+      out.stats.messages += rb.shard_messages[s];
+      out.stats.node_updates += rb.shard_updates[s];
     }
-    for (const NodeId v : changed) in_improved[v] = 0;
-    return changed;
+    if (adaptive) {
+      rb.improved.advance();
+      return rb.improved.nodes();
+    }
+    rb.changed.clear();
+    for (std::uint32_t s = 0; s < k; ++s) {
+      rb.changed.insert(rb.changed.end(), rb.shard_improved[s].begin(),
+                        rb.shard_improved[s].end());
+    }
+    for (const NodeId v : rb.changed) in_improved[v] = 0;
+    return rb.changed;
   };
 
   auto relax = [&](const std::vector<std::pair<NodeId, Weight>>& frontier,
-                   EdgeKind kind) {
+                   EdgeKind kind) -> const std::vector<NodeId>& {
     out.stats.relaxation_rounds++;
-    return part != nullptr ? relax_bsp(frontier, kind)
-                           : relax_flat(frontier, kind);
+    const auto& changed = part != nullptr ? relax_bsp(frontier, kind)
+                                          : relax_flat(frontier, kind);
+    if (adaptive) {
+      // Round convention of DESIGN.md §7: the phase is classified by the
+      // representation that collected its improved set.
+      if (rb.improved.current_mode() == core::FrontierMode::kDense) {
+        out.stats.dense_rounds++;
+      } else {
+        out.stats.sparse_rounds++;
+      }
+    }
+    return changed;
   };
-  auto snapshot = [&](const std::vector<NodeId>& nodes) {
-    std::vector<std::pair<NodeId, Weight>> snap;
-    snap.reserve(nodes.size());
-    for (const NodeId v : nodes) snap.emplace_back(v, dist_of(v));
-    return snap;
+  auto snapshot = [&](const std::vector<NodeId>& nodes)
+      -> const std::vector<std::pair<NodeId, Weight>>& {
+    rb.snapshot.clear();
+    rb.snapshot.reserve(nodes.size());
+    for (const NodeId v : nodes) rb.snapshot.emplace_back(v, dist_of(v));
+    return rb.snapshot;
   };
 
   std::uint64_t cur = 0;
@@ -293,21 +413,31 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
     while (cur <= buckets.max_abs() && buckets.slot_empty(cur)) ++cur;
     if (cur > buckets.max_abs()) break;  // defensive; queued()>0 should hold
 
-    std::vector<NodeId> settled;  // R in the paper: all nodes leaving bucket
+    // R in the paper: all nodes leaving the bucket. The adaptive path dedups
+    // at insertion time with one stamp generation per bucket; the baseline
+    // keeps the legacy collect-then-sort+unique pass.
+    rb.settled.clear();
+    if (adaptive) rb.new_stamp_round();
     std::uint64_t phases = 0;
     while (!buckets.slot_empty(cur)) {
-      auto drained = buckets.drain(cur);
-      std::vector<NodeId> frontier;
-      frontier.reserve(drained.size());
-      for (const NodeId v : drained) {
+      buckets.drain_into(cur, rb.drained);
+      rb.active.clear();
+      for (const NodeId v : rb.drained) {
         buckets.clear_marker(v);
-        if (bucket_of(dist_of(v)) == cur) frontier.push_back(v);
+        if (bucket_of(dist_of(v)) == cur) rb.active.push_back(v);
         // stale entries (node moved to an earlier bucket) are dropped
       }
-      if (frontier.empty()) break;
-      settled.insert(settled.end(), frontier.begin(), frontier.end());
+      if (rb.active.empty()) break;
+      if (adaptive) {
+        for (const NodeId v : rb.active) {
+          if (rb.stamp_once(v)) rb.settled.push_back(v);
+        }
+      } else {
+        rb.settled.insert(rb.settled.end(), rb.active.begin(),
+                          rb.active.end());
+      }
 
-      auto changed = relax(snapshot(frontier), EdgeKind::kLight);
+      const auto& changed = relax(snapshot(rb.active), EdgeKind::kLight);
       for (const NodeId v : changed) {
         const std::uint64_t b = bucket_of(dist_of(v));
         if (b >= cur) buckets.push(v, b);
@@ -318,12 +448,14 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
       }
     }
 
-    if (!settled.empty()) {
-      // Deduplicate: a node may have been drained twice (re-entered cur).
-      std::sort(settled.begin(), settled.end());
-      settled.erase(std::unique(settled.begin(), settled.end()),
-                    settled.end());
-      auto changed = relax(snapshot(settled), EdgeKind::kHeavy);
+    if (!rb.settled.empty()) {
+      if (!adaptive) {
+        // Deduplicate: a node may have been drained twice (re-entered cur).
+        std::sort(rb.settled.begin(), rb.settled.end());
+        rb.settled.erase(std::unique(rb.settled.begin(), rb.settled.end()),
+                         rb.settled.end());
+      }
+      const auto& changed = relax(snapshot(rb.settled), EdgeKind::kHeavy);
       for (const NodeId v : changed) {
         buckets.push(v, bucket_of(dist_of(v)));
       }

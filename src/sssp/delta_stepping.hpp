@@ -21,11 +21,22 @@
 // the stats additionally report the cross-partition messages/bytes a real
 // MR shuffle would pay. Distances are identical to the flat kernel (same
 // min-reduction fixpoint per phase).
+//
+// Frontier maintenance (improved-node sets, settled-set dedup, bucket and
+// exchange scratch) runs on the adaptive sparse/dense engine and the
+// RoundBuffers pool of core/frontier.hpp / DESIGN.md §7; repeated runs on
+// one graph share a DeltaSteppingContext so the Δ-presplit and the pools
+// carry across sources.
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "core/frontier.hpp"
 #include "graph/graph.hpp"
+#include "graph/split_csr.hpp"
+#include "mr/exchange.hpp"
 #include "mr/partition.hpp"
 #include "mr/stats.hpp"
 
@@ -43,9 +54,109 @@ struct DeltaSteppingOptions {
   /// (the tests enforce it); it exists as the A/B baseline for
   /// bench/micro_kernels and costs one weight comparison per arc per phase.
   bool presplit = true;
+  /// Adaptive sparse/dense frontier engine (core/frontier.hpp) for the
+  /// per-phase improved-node sets, plus the RoundBuffers pool: bucket
+  /// arrays, stamps and exchange scratch are allocated once per run instead
+  /// of once per round, and the settled-set dedup is stamp-based instead of
+  /// sort+unique. `frontier.adaptive = false` keeps the legacy full
+  /// gather/sort path — bit-identical distances and counters (enforced by
+  /// tests/test_frontier.cpp); it exists as the A/B baseline.
+  core::FrontierOptions frontier;
   /// Shard layout for the partitioned BSP backend; num_partitions <= 1
   /// selects the flat shared-memory kernel.
   mr::PartitionOptions partition;
+};
+
+/// One cross-shard relaxation request: "lower dist of your node `target`
+/// (destination-local id) to the order-encoded distance `bits`". Packed so
+/// the exchange's sizeof-based byte accounting reports the 12 serialized
+/// bytes, not 16 with padding.
+struct [[gnu::packed]] DistProposal {
+  NodeId target = 0;
+  std::uint64_t bits = 0;
+};
+static_assert(sizeof(DistProposal) == 12);
+
+/// Per-run pool of round-lifetime scratch: everything a Δ-stepping run
+/// touches once per bucket or phase — tentative distances, cyclic bucket
+/// slots, drained/settled/frontier lists, snapshot pairs, per-vertex stamps,
+/// the adaptive improved-set Frontier and the partitioned exchange staging —
+/// is allocated here once per run. Passed across runs through a
+/// DeltaSteppingContext, steady-state runs allocate almost nothing.
+struct RoundBuffers {
+  core::Frontier improved;               // per-phase improved-node set
+  std::vector<std::uint64_t> dist_bits;  // order-encoded tentative distances
+  // Cyclic bucket array storage (slots + per-node queued markers).
+  std::vector<std::vector<NodeId>> bucket_slots;
+  std::vector<std::uint64_t> bucket_queued;
+  // Per-bucket / per-phase node lists.
+  std::vector<NodeId> drained;
+  std::vector<NodeId> active;
+  std::vector<NodeId> settled;
+  std::vector<std::pair<NodeId, Weight>> snapshot;
+  // Per-vertex stamps: settled-set dedup without sort+unique.
+  std::vector<std::uint32_t> stamps;
+  std::uint32_t stamp_round = 0;
+  // Exchange scratch for the partitioned BSP backend.
+  mr::Exchange<DistProposal> exchange;
+  std::vector<std::vector<std::pair<NodeId, Weight>>> by_shard;
+  std::vector<std::uint64_t> shard_messages;
+  std::vector<std::uint64_t> shard_updates;
+  std::vector<std::vector<NodeId>> shard_improved;
+  std::vector<NodeId> changed;
+
+  /// Rebinds the pool to an n-vertex run, keeping every buffer's capacity.
+  void reset(NodeId n, const core::FrontierOptions& opts);
+
+  /// Opens a fresh stamp generation (start of a bucket): every vertex reads
+  /// as unstamped without touching the array.
+  void new_stamp_round();
+  /// First call per (v, generation) returns true — the stamp analogue of
+  /// the settled sort+unique. Single-threaded contexts only.
+  [[nodiscard]] bool stamp_once(NodeId v);
+};
+
+/// Reusable cross-run state for repeated Δ-stepping on the same graph (the
+/// iterated sweep in sssp/sweep.cpp, multi-source benches): the RoundBuffers
+/// pool plus caches of the Δ-presplit adjacency and the shard layout, keyed
+/// by (graph, Δ) / (graph, partition options), so equal-Δ repetitions reuse
+/// one SplitCsr instead of re-presplitting per source. Lifetime contract:
+/// a graph passed alongside a context must outlive it unchanged (the same
+/// contract as holding a Graph&); the structural (n, arcs) cache key only
+/// guards against the common reallocation accidents, not mutation.
+class DeltaSteppingContext {
+ public:
+  DeltaSteppingContext() = default;
+  DeltaSteppingContext(const DeltaSteppingContext&) = delete;
+  DeltaSteppingContext& operator=(const DeltaSteppingContext&) = delete;
+
+  RoundBuffers buffers;
+
+  /// Cached graph-level split for (g, delta); rebuilt only when stale.
+  const SplitCsr& split_for(const Graph& g, Weight delta);
+  /// Cached shard layout for (g, opts); rebuilt only when stale.
+  const mr::Partition& partition_for(const Graph& g,
+                                     const mr::PartitionOptions& opts);
+  /// Cached per-shard splits for (partition_for(g, opts), delta).
+  const std::vector<CsrSplit>& shard_splits_for(const mr::Partition& part,
+                                                Weight delta);
+
+ private:
+  // Caches are keyed by graph pointer *and* (n, arcs) so a different graph
+  // reallocated at a stale address rebuilds instead of reusing stale data.
+  const Graph* split_graph_ = nullptr;
+  NodeId split_nodes_ = 0;
+  EdgeIndex split_arcs_ = 0;
+  Weight split_delta_ = -1.0;
+  SplitCsr split_;
+  const Graph* part_graph_ = nullptr;
+  NodeId part_nodes_ = 0;
+  EdgeIndex part_arcs_ = 0;
+  mr::PartitionOptions part_opts_;
+  std::unique_ptr<mr::Partition> part_;
+  const mr::Partition* shard_split_part_ = nullptr;
+  Weight shard_split_delta_ = -1.0;
+  std::vector<CsrSplit> shard_splits_;
 };
 
 struct DeltaSteppingResult {
@@ -60,9 +171,12 @@ struct DeltaSteppingResult {
 };
 
 /// Parallel Δ-stepping from `source`. Distances are exact (same relaxation
-/// fixpoint as Dijkstra); deterministic via atomic min-reduction.
+/// fixpoint as Dijkstra); deterministic via atomic min-reduction. A non-null
+/// `ctx` pools RoundBuffers and the split/partition caches across runs
+/// (results are identical with or without one).
 [[nodiscard]] DeltaSteppingResult delta_stepping(
-    const Graph& g, NodeId source, const DeltaSteppingOptions& opts = {});
+    const Graph& g, NodeId source, const DeltaSteppingOptions& opts = {},
+    DeltaSteppingContext* ctx = nullptr);
 
 /// Diameter upper bound 2·ecc(source) plus the stats of the underlying run —
 /// the SSSP-based approximation the paper compares against.

@@ -1,0 +1,526 @@
+// Adaptive sparse/dense frontier engine (core/frontier.hpp): unit tests of
+// the Frontier itself, plus the parity suite pinning the adaptive kernels
+// bit-for-bit against the adaptive=false baselines — distances, labels and
+// every RoundStats counter — on all graph families, flat and partitioned
+// (K ∈ {1, 2, 7}), including disconnected graphs and the single-vertex
+// frontiers that force sparse→dense→sparse representation transitions.
+
+#include "core/frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/cluster.hpp"
+#include "core/growing.hpp"
+#include "graph/builder.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "sssp/sweep.hpp"
+#include "test_helpers.hpp"
+
+namespace gdiam {
+namespace {
+
+using core::Frontier;
+using core::FrontierMode;
+using core::FrontierOptions;
+using test::Family;
+
+// ---------------------------------------------------------------------------
+// Frontier unit tests.
+
+TEST(Frontier, InsertDedupAdvanceMaterialize) {
+  Frontier f(100);
+  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(f.insert(3));
+  EXPECT_FALSE(f.insert(3));  // duplicate within the round
+  EXPECT_TRUE(f.insert(7));
+  EXPECT_TRUE(f.insert(99));
+  EXPECT_FALSE(f.contains(3));  // not sealed yet
+  f.advance();
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_TRUE(f.contains(3));
+  EXPECT_TRUE(f.contains(7));
+  EXPECT_TRUE(f.contains(99));
+  EXPECT_FALSE(f.contains(4));
+  std::vector<NodeId> got = f.nodes();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<NodeId>{3, 7, 99}));
+  // A sealed member is insertable again for the next round.
+  EXPECT_TRUE(f.insert(3));
+  f.advance();
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_TRUE(f.contains(3));
+  EXPECT_FALSE(f.contains(7));
+}
+
+TEST(Frontier, LocalQueueOverflowFlushesBlocks) {
+  FrontierOptions o;
+  o.local_queue_capacity = 4;  // force many block flushes
+  Frontier f(1000, o);
+  for (NodeId v = 0; v < 1000; v += 2) EXPECT_TRUE(f.insert(v));
+  f.advance();
+  EXPECT_EQ(f.size(), 500u);
+  std::vector<NodeId> got = f.nodes();
+  std::sort(got.begin(), got.end());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], static_cast<NodeId>(2 * i));
+  }
+}
+
+TEST(Frontier, AdaptiveSwitchesSparseDenseSparse) {
+  FrontierOptions o;
+  o.dense_fraction = 0.1;  // threshold: 10 of 100
+  Frontier f(100, o);
+  EXPECT_EQ(f.collect_mode(), FrontierMode::kSparse);
+  for (NodeId v = 0; v < 50; ++v) f.insert(v);
+  f.advance();  // sealed 50 > 10 → next collection dense
+  EXPECT_EQ(f.current_mode(), FrontierMode::kSparse);
+  EXPECT_EQ(f.collect_mode(), FrontierMode::kDense);
+  for (NodeId v = 40; v < 60; ++v) EXPECT_TRUE(f.insert(v));
+  for (NodeId v = 40; v < 60; ++v) EXPECT_FALSE(f.insert(v));  // bitmap dedup
+  f.advance();  // sealed 20 > 10 → dense again; dense lists ascending
+  EXPECT_EQ(f.current_mode(), FrontierMode::kDense);
+  const auto& nodes = f.nodes();
+  ASSERT_EQ(nodes.size(), 20u);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(nodes[i], static_cast<NodeId>(40 + i));
+  }
+  EXPECT_TRUE(f.contains(40));  // dense advance rewrote the stamps
+  f.insert(5);
+  f.advance();  // sealed 1 ≤ 10 → back to sparse
+  EXPECT_EQ(f.collect_mode(), FrontierMode::kSparse);
+  EXPECT_TRUE(f.contains(5));
+  EXPECT_FALSE(f.contains(40));
+}
+
+TEST(Frontier, ContainsStableWhileDenseRoundCollects) {
+  FrontierOptions o;
+  o.dense_fraction = 0.01;
+  Frontier f(64, o);
+  for (NodeId v = 0; v < 32; ++v) f.insert(v);
+  f.advance();
+  ASSERT_EQ(f.collect_mode(), FrontierMode::kDense);
+  // Fused scan+collect rounds (dense pull) insert while reading membership:
+  // dense inserts must not disturb contains() of the current frontier.
+  EXPECT_TRUE(f.insert(10));  // 10 is also a current member
+  EXPECT_TRUE(f.contains(10));
+  EXPECT_FALSE(f.contains(40));
+  EXPECT_TRUE(f.insert(40));
+  EXPECT_FALSE(f.contains(40));  // member of the next round, not this one
+}
+
+TEST(Frontier, AdaptiveOffStaysSparse) {
+  FrontierOptions o;
+  o.adaptive = false;
+  o.dense_fraction = 0.0;
+  Frontier f(50, o);
+  for (NodeId v = 0; v < 50; ++v) f.insert(v);
+  f.advance();
+  EXPECT_EQ(f.current_mode(), FrontierMode::kSparse);
+  EXPECT_EQ(f.collect_mode(), FrontierMode::kSparse);
+}
+
+TEST(Frontier, ClearForgetsCurrentAndPartialRounds) {
+  Frontier f(32);
+  f.insert(1);
+  f.advance();
+  f.insert(2);  // partially collected round
+  f.clear();
+  EXPECT_TRUE(f.empty());
+  EXPECT_FALSE(f.contains(1));
+  EXPECT_TRUE(f.insert(2));  // the abandoned insert was forgotten
+  f.advance();
+  EXPECT_TRUE(f.contains(2));
+}
+
+TEST(Frontier, ResetKeepsNothingAcrossRuns) {
+  Frontier f(16);
+  f.insert(3);
+  f.advance();
+  f.reset(16);
+  EXPECT_TRUE(f.empty());
+  EXPECT_FALSE(f.contains(3));
+  f.reset(8);  // shrink
+  EXPECT_EQ(f.num_nodes(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Δ-stepping parity: adaptive vs baseline must agree bit-for-bit on
+// distances and every counter, for the flat kernel and all shard counts.
+
+void expect_delta_parity(const Graph& g, NodeId source,
+                         sssp::DeltaSteppingOptions opts,
+                         double dense_fraction = 1.0 / 16.0) {
+  opts.frontier.adaptive = false;
+  const auto base = sssp::delta_stepping(g, source, opts);
+  opts.frontier.adaptive = true;
+  opts.frontier.dense_fraction = dense_fraction;
+  const auto adap = sssp::delta_stepping(g, source, opts);
+
+  EXPECT_EQ(base.dist, adap.dist);
+  EXPECT_EQ(base.eccentricity, adap.eccentricity);
+  EXPECT_EQ(base.farthest, adap.farthest);
+  EXPECT_EQ(base.delta_used, adap.delta_used);
+  EXPECT_EQ(base.buckets_processed, adap.buckets_processed);
+  // Every shared RoundStats counter, field by field.
+  EXPECT_EQ(base.stats.relaxation_rounds, adap.stats.relaxation_rounds);
+  EXPECT_EQ(base.stats.auxiliary_rounds, adap.stats.auxiliary_rounds);
+  EXPECT_EQ(base.stats.messages, adap.stats.messages);
+  EXPECT_EQ(base.stats.node_updates, adap.stats.node_updates);
+  EXPECT_EQ(base.stats.cross_messages, adap.stats.cross_messages);
+  EXPECT_EQ(base.stats.cross_bytes, adap.stats.cross_bytes);
+  // Mode counters: zero on the baseline; a full classification on adaptive.
+  EXPECT_EQ(base.stats.sparse_rounds, 0u);
+  EXPECT_EQ(base.stats.dense_rounds, 0u);
+  EXPECT_EQ(adap.stats.sparse_rounds + adap.stats.dense_rounds,
+            adap.stats.relaxation_rounds);
+}
+
+class DeltaFrontierParity
+    : public testing::TestWithParam<std::tuple<Family, std::uint32_t>> {};
+
+TEST_P(DeltaFrontierParity, BitIdenticalToBaseline) {
+  const auto [family, k] = GetParam();
+  const Graph g = test::make_family(family, 200, 29);
+  for (const double mult : {0.5, 1.0, 8.0}) {
+    sssp::DeltaSteppingOptions opts;
+    opts.delta = mult * g.avg_weight();
+    opts.partition = {.num_partitions = k,
+                      .strategy = mr::PartitionStrategy::kHash};
+    SCOPED_TRACE(testing::Message() << "mult=" << mult << " k=" << k);
+    // Default threshold, plus an aggressive one that forces dense rounds.
+    expect_delta_parity(g, 3, opts);
+    expect_delta_parity(g, 3, opts, 0.005);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamiliesAllShards, DeltaFrontierParity,
+    testing::Combine(testing::ValuesIn(test::all_families()),
+                     testing::Values(1u, 2u, 7u)),
+    [](const auto& info) {
+      return std::string(test::family_name(std::get<0>(info.param))) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(DeltaFrontierParity, DisconnectedGraph) {
+  GraphBuilder b(90);
+  for (NodeId u = 0; u + 1 < 40; ++u) b.add_edge(u, u + 1, 1.0);
+  for (NodeId u = 41; u + 1 < 90; ++u) b.add_edge(u, u + 1, 2.0);
+  const Graph g = b.build();  // node 40 is isolated
+  for (const NodeId source : {NodeId{0}, NodeId{40}, NodeId{50}}) {
+    for (const std::uint32_t k : {1u, 3u}) {
+      sssp::DeltaSteppingOptions opts;
+      opts.partition.num_partitions = k;
+      SCOPED_TRACE(testing::Message() << "source=" << source << " k=" << k);
+      expect_delta_parity(g, source, opts, 0.05);
+    }
+  }
+}
+
+/// Path with a leafy hub in the middle: frontier sizes run 1,1,…,big,1 — a
+/// single-vertex frontier right after a dense burst, forcing the
+/// sparse→dense→sparse representation transitions.
+Graph hub_path_graph(NodeId path_len, NodeId leaves) {
+  GraphBuilder b(path_len + leaves);
+  for (NodeId u = 0; u + 1 < path_len; ++u) b.add_edge(u, u + 1, 1.0);
+  const NodeId hub = path_len / 2;
+  for (NodeId l = 0; l < leaves; ++l) b.add_edge(hub, path_len + l, 1.0);
+  return b.build();
+}
+
+TEST(DeltaFrontierParity, HubPathForcesModeTransitions) {
+  const Graph g = hub_path_graph(9, 120);
+  sssp::DeltaSteppingOptions opts;
+  opts.delta = 1000.0;  // one bucket: light phases are BFS waves
+  opts.frontier.dense_fraction = 0.1;
+  const auto r = sssp::delta_stepping(g, 0, opts);
+  EXPECT_GT(r.stats.sparse_rounds, 0u) << mr::to_string(r.stats);
+  EXPECT_GT(r.stats.dense_rounds, 0u) << mr::to_string(r.stats);
+  expect_delta_parity(g, 0, opts, 0.1);
+}
+
+TEST(DeltaFrontierParity, SingleVertexAndEdgelessGraphs) {
+  expect_delta_parity(build_graph(1, {}), 0, {});
+  expect_delta_parity(build_graph(5, {}), 2, {});
+}
+
+// ---------------------------------------------------------------------------
+// Context reuse: pooled RoundBuffers and cached SplitCsr across runs must
+// not leak state between sources, graphs, deltas or shard counts.
+
+TEST(DeltaSteppingContext, ReuseAcrossSourcesAndGraphsMatchesFresh) {
+  const Graph g1 = test::make_family(Family::kGnmUniform, 150, 7);
+  const Graph g2 = test::make_family(Family::kMeshUniform, 150, 9);
+  sssp::DeltaSteppingContext ctx;
+  sssp::DeltaSteppingOptions opts;
+  for (const Graph* g : {&g1, &g2, &g1}) {
+    for (const NodeId source : {NodeId{0}, NodeId{5}, NodeId{17}}) {
+      const auto pooled = sssp::delta_stepping(*g, source, opts, &ctx);
+      const auto fresh = sssp::delta_stepping(*g, source, opts);
+      EXPECT_EQ(pooled.dist, fresh.dist);
+      EXPECT_EQ(pooled.stats, fresh.stats);
+      EXPECT_EQ(pooled.farthest, fresh.farthest);
+    }
+  }
+}
+
+TEST(DeltaSteppingContext, ReuseAcrossDeltasAndPartitions) {
+  const Graph g = test::make_family(Family::kRmatGiant, 200, 11);
+  sssp::DeltaSteppingContext ctx;
+  for (const double mult : {1.0, 4.0, 1.0}) {
+    for (const std::uint32_t k : {1u, 3u}) {
+      sssp::DeltaSteppingOptions opts;
+      opts.delta = mult * g.avg_weight();
+      opts.partition.num_partitions = k;
+      const auto pooled = sssp::delta_stepping(g, 2, opts, &ctx);
+      const auto fresh = sssp::delta_stepping(g, 2, opts);
+      EXPECT_EQ(pooled.dist, fresh.dist) << "mult=" << mult << " k=" << k;
+      EXPECT_EQ(pooled.stats, fresh.stats) << "mult=" << mult << " k=" << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep kernels: Δ-stepping sweeps (one shared context, one SplitCsr) visit
+// the same sources and return the same bound as the Dijkstra methodology.
+
+TEST(SweepKernels, DeltaSteppingSweepMatchesDijkstra) {
+  for (const Family f : {Family::kMeshUniform, Family::kGnmUniform}) {
+    const Graph g = test::make_family(f, 180, 3);
+    sssp::SweepOptions opts;
+    opts.max_sweeps = 6;
+    opts.seed = 17;
+    const auto dij = sssp::diameter_lower_bound(g, opts);
+    opts.use_delta_stepping = true;
+    const auto ds = sssp::diameter_lower_bound(g, opts);
+    EXPECT_EQ(dij.sources, ds.sources) << test::family_name(f);
+    EXPECT_EQ(dij.eccentricities, ds.eccentricities);
+    EXPECT_DOUBLE_EQ(dij.lower_bound, ds.lower_bound);
+    // The Δ-stepping kernel reports MR cost; Dijkstra is outside the model.
+    EXPECT_GT(ds.stats.rounds(), 0u);
+    EXPECT_EQ(dij.stats.rounds(), 0u);
+  }
+}
+
+TEST(SweepKernels, LegacyOverloadUnchanged) {
+  const Graph g = test::make_family(Family::kTreePlusChords, 120, 5);
+  const auto a = sssp::diameter_lower_bound(g, 4, 23);
+  sssp::SweepOptions opts;
+  opts.max_sweeps = 4;
+  opts.seed = 23;
+  const auto b = sssp::diameter_lower_bound(g, opts);
+  EXPECT_EQ(a.sources, b.sources);
+  EXPECT_DOUBLE_EQ(a.lower_bound, b.lower_bound);
+}
+
+// ---------------------------------------------------------------------------
+// Δ-growing parity: per-step labels and counters for each policy, adaptive
+// vs the adaptive=false baseline.
+
+core::GrowingStepParams uniform_params(Weight delta) {
+  core::GrowingStepParams p;
+  p.light_threshold = delta;
+  p.uniform_budget = delta;
+  return p;
+}
+
+void run_growing_parity(const Graph& g, core::GrowingPolicy policy,
+                        std::uint32_t k, const core::GrowingStepParams& p,
+                        double dense_fraction,
+                        const std::vector<Weight>* center_budget = nullptr) {
+  const mr::PartitionOptions popts{.num_partitions = k,
+                                   .strategy = mr::PartitionStrategy::kHash};
+  core::GrowingEngine base(g, policy, popts);
+  core::GrowingEngine adap(g, policy, popts);
+  core::FrontierOptions off;
+  off.adaptive = false;
+  base.set_frontier_options(off);
+  core::FrontierOptions on;
+  on.dense_fraction = dense_fraction;
+  adap.set_frontier_options(on);
+
+  core::GrowingStepParams params = p;
+  params.center_budget = center_budget;
+  for (core::GrowingEngine* e : {&base, &adap}) {
+    e->set_source(0, 0);
+    e->set_source(g.num_nodes() / 3, g.num_nodes() / 3);
+    e->block(2);
+    e->set_source(2, 2);
+    e->rebuild_frontier(params);
+  }
+  std::uint64_t sparse = 0, dense = 0;
+  for (int step = 0; step < 64; ++step) {
+    const auto rb = base.step(params);
+    const auto ra = adap.step(params);
+    ASSERT_EQ(rb.messages, ra.messages)
+        << "policy " << static_cast<int>(policy) << " step " << step;
+    ASSERT_EQ(rb.updates, ra.updates);
+    ASSERT_EQ(rb.newly_labeled, ra.newly_labeled);
+    ASSERT_EQ(rb.cross_messages, ra.cross_messages);
+    ASSERT_EQ(rb.cross_bytes, ra.cross_bytes);
+    ASSERT_EQ(base.labels(), adap.labels()) << "step " << step;
+    // Baseline steps are unclassified; adaptive steps are exactly one mode.
+    ASSERT_EQ(rb.sparse_rounds + rb.dense_rounds, 0u);
+    ASSERT_EQ(ra.sparse_rounds + ra.dense_rounds, 1u);
+    sparse += ra.sparse_rounds;
+    dense += ra.dense_rounds;
+    if (ra.updates == 0) break;
+  }
+  EXPECT_GT(sparse + dense, 0u);
+}
+
+class GrowingFrontierParity
+    : public testing::TestWithParam<
+          std::tuple<core::GrowingPolicy, Family, std::uint32_t>> {};
+
+TEST_P(GrowingFrontierParity, StepsBitIdenticalToBaseline) {
+  const auto [policy, family, k] = GetParam();
+  const Graph g = test::make_family(family, 200, 55);
+  const core::GrowingStepParams p = uniform_params(2.0 * g.avg_weight());
+  run_growing_parity(g, policy, k, p, 1.0 / 16.0);
+  run_growing_parity(g, policy, k, p, 0.01);  // force dense rounds early
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesFamiliesShards, GrowingFrontierParity,
+    testing::Combine(testing::Values(core::GrowingPolicy::kPush,
+                                     core::GrowingPolicy::kPull,
+                                     core::GrowingPolicy::kPartitioned),
+                     testing::Values(Family::kMeshUniform, Family::kRmatGiant,
+                                     Family::kPathHeavyTail),
+                     testing::Values(1u, 2u, 7u)),
+    [](const auto& info) {
+      const auto policy = std::get<0>(info.param);
+      const char* pname = policy == core::GrowingPolicy::kPush     ? "push"
+                          : policy == core::GrowingPolicy::kPull   ? "pull"
+                                                                   : "bsp";
+      return std::string(pname) + "_" +
+             test::family_name(std::get<1>(info.param)) + "_k" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(GrowingFrontierParity, DisconnectedGraphAllPolicies) {
+  GraphBuilder b(120);
+  for (NodeId u = 0; u + 1 < 60; ++u) b.add_edge(u, u + 1, 1.0);
+  for (NodeId u = 61; u + 1 < 120; ++u) b.add_edge(u, u + 1, 1.0);
+  const Graph g = b.build();
+  for (const auto policy :
+       {core::GrowingPolicy::kPush, core::GrowingPolicy::kPull,
+        core::GrowingPolicy::kPartitioned}) {
+    run_growing_parity(g, policy, 3, uniform_params(500.0), 0.05);
+  }
+}
+
+TEST(GrowingFrontierParity, PerCenterBudgetsAllPolicies) {
+  const Graph g = test::make_family(Family::kGnmUniform, 150, 21);
+  std::vector<Weight> budgets(g.num_nodes(), 0.0);
+  budgets[0] = 3.0 * g.avg_weight();
+  budgets[g.num_nodes() / 3] = 6.0 * g.avg_weight();
+  budgets[2] = 2.0 * g.avg_weight();
+  core::GrowingStepParams p;
+  p.light_threshold = 4.0 * g.avg_weight();
+  for (const auto policy :
+       {core::GrowingPolicy::kPush, core::GrowingPolicy::kPull,
+        core::GrowingPolicy::kPartitioned}) {
+    run_growing_parity(g, policy, 2, p, 0.02, &budgets);
+  }
+}
+
+TEST(GrowingFrontierParity, HubPathForcesModeTransitions) {
+  // Single-vertex frontiers right before and after the hub burst: the
+  // adaptive engine must cross sparse→dense→sparse and stay in lockstep.
+  const Graph g = hub_path_graph(9, 120);
+  for (const auto policy :
+       {core::GrowingPolicy::kPush, core::GrowingPolicy::kPull,
+        core::GrowingPolicy::kPartitioned}) {
+    const mr::PartitionOptions popts{.num_partitions = 2};
+    core::GrowingEngine base(g, policy, popts);
+    core::GrowingEngine adap(g, policy, popts);
+    core::FrontierOptions off;
+    off.adaptive = false;
+    base.set_frontier_options(off);
+    core::FrontierOptions on;
+    on.dense_fraction = 0.1;
+    adap.set_frontier_options(on);
+    const core::GrowingStepParams p = uniform_params(1000.0);
+    for (core::GrowingEngine* e : {&base, &adap}) {
+      e->set_source(0, 0);
+      e->rebuild_frontier(p);
+    }
+    std::uint64_t sparse = 0, dense = 0;
+    for (int step = 0; step < 32; ++step) {
+      const auto rb = base.step(p);
+      const auto ra = adap.step(p);
+      ASSERT_EQ(rb.messages, ra.messages) << "step " << step;
+      ASSERT_EQ(rb.updates, ra.updates);
+      ASSERT_EQ(base.labels(), adap.labels());
+      sparse += ra.sparse_rounds;
+      dense += ra.dense_rounds;
+      if (ra.updates == 0) break;
+    }
+    EXPECT_GT(sparse, 0u) << "policy " << static_cast<int>(policy);
+    EXPECT_GT(dense, 0u) << "policy " << static_cast<int>(policy);
+  }
+}
+
+// Raising the budget mid-run (a CLUSTER stage bump) rebuilds the adaptive
+// frontier from the labels; both engines must stay in lockstep through it.
+TEST(GrowingFrontierParity, ThresholdBumpRebuild) {
+  const Graph g = test::make_family(Family::kGnmUniform, 150, 13);
+  for (const auto policy :
+       {core::GrowingPolicy::kPush, core::GrowingPolicy::kPull}) {
+    core::GrowingEngine base(g, policy);
+    core::GrowingEngine adap(g, policy);
+    core::FrontierOptions off;
+    off.adaptive = false;
+    base.set_frontier_options(off);
+    for (core::GrowingEngine* e : {&base, &adap}) e->set_source(0, 0);
+    for (const double mult : {1.0, 2.0, 4.0}) {
+      const core::GrowingStepParams p = uniform_params(mult * g.avg_weight());
+      base.rebuild_frontier(p);
+      adap.rebuild_frontier(p);
+      for (int step = 0; step < 32; ++step) {
+        const auto rb = base.step(p);
+        const auto ra = adap.step(p);
+        ASSERT_EQ(rb.messages, ra.messages) << "mult " << mult;
+        ASSERT_EQ(rb.updates, ra.updates);
+        ASSERT_EQ(base.labels(), adap.labels());
+        if (ra.updates == 0) break;
+      }
+    }
+  }
+}
+
+// Whole-algorithm parity: CLUSTER on the default adaptive engines produces
+// the same decomposition and work counters as the legacy baseline (the mode
+// counters are the adaptive run's extra classification).
+TEST(GrowingFrontierParity, ClusterWholeAlgorithmCounters) {
+  const Graph g = test::make_family(Family::kMeshUniform, 300, 3);
+  for (const auto policy :
+       {core::GrowingPolicy::kPush, core::GrowingPolicy::kPull}) {
+    core::ClusterOptions opts;
+    opts.tau = 4;
+    opts.seed = 17;
+    opts.policy = policy;
+    const core::Clustering adaptive = core::cluster(g, opts);
+    opts.frontier.adaptive = false;
+    const core::Clustering baseline = core::cluster(g, opts);
+    EXPECT_TRUE(adaptive.validate(g));
+    EXPECT_EQ(adaptive.center_of, baseline.center_of);
+    EXPECT_EQ(adaptive.dist_to_center, baseline.dist_to_center);
+    EXPECT_EQ(adaptive.stats.relaxation_rounds,
+              baseline.stats.relaxation_rounds);
+    EXPECT_EQ(adaptive.stats.auxiliary_rounds, baseline.stats.auxiliary_rounds);
+    EXPECT_EQ(adaptive.stats.messages, baseline.stats.messages);
+    EXPECT_EQ(adaptive.stats.node_updates, baseline.stats.node_updates);
+    EXPECT_EQ(adaptive.stats.sparse_rounds + adaptive.stats.dense_rounds,
+              adaptive.stats.relaxation_rounds);
+    EXPECT_EQ(baseline.stats.sparse_rounds + baseline.stats.dense_rounds, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace gdiam

@@ -36,15 +36,20 @@ commands:
            [--weights unit|uniform|int|bimodal] [--seed S]
   stats    FILE [--sweeps K]
   estimate FILE [--tau T] [--seed S] [--cluster2] [--classic] [--pull]
-           [--partitions K] [--range-partition]
+           [--partitions K] [--range-partition] [--no-adaptive]
   decompose FILE --out CLUSTERING.gdcl [--tau T] [--seed S]
             [--quotient QUOTIENT_GRAPH_FILE]
   sssp     FILE [--source U] [--delta D] [--partitions K] [--range-partition]
+           [--no-adaptive]
   convert  IN OUT
 
 --partitions K > 1 runs the kernels on the sharded BSP engine (K shards,
 hash partitioner unless --range-partition) and reports the cross-partition
 communication volume alongside rounds and work.
+
+--no-adaptive disables the adaptive sparse/dense frontier engine and runs
+the legacy full-scan round paths (A/B baseline; results are identical, the
+cost line just loses its modes=S/D classification).
 )");
   std::exit(error == nullptr ? 0 : 2);
 }
@@ -167,6 +172,7 @@ int cmd_estimate(const util::Options& o) {
     }
     opt.cluster.policy = core::GrowingPolicy::kPartitioned;
   }
+  opt.cluster.frontier.adaptive = !o.get_bool("no-adaptive", false);
   util::Timer t;
   const auto r = core::approximate_diameter(g, opt);
   std::printf("estimate:      %.6g%s\n", r.estimate,
@@ -215,6 +221,7 @@ int cmd_sssp(const util::Options& o) {
   sssp::DeltaSteppingOptions opt;
   opt.delta = o.get_double("delta", 0.0);
   opt.partition = parse_partition(o);
+  opt.frontier.adaptive = !o.get_bool("no-adaptive", false);
   util::Timer t;
   const auto r = sssp::delta_stepping(g, source, opt);
   std::printf("source:        %u (Delta=%g, partitions=%u)\n", source,
