@@ -6,8 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include "core/cluster.hpp"
+#include "core/diameter.hpp"
 #include "core/frontier.hpp"
 #include "core/growing.hpp"
+#include "exec/context.hpp"
 #include "gen/mesh.hpp"
 #include "gen/rmat.hpp"
 #include "gen/road.hpp"
@@ -225,7 +227,7 @@ BENCHMARK(BM_FrontierDense)->Unit(benchmark::kMillisecond);
 // FrontierOptions::adaptive, not the presplit cache.
 void BM_DeltaSteppingRoad(benchmark::State& state) {
   const Graph& g = road_graph();
-  sssp::DeltaSteppingContext ctx;
+  exec::Context ctx;
   for (auto _ : state) {
     benchmark::DoNotOptimize(sssp::delta_stepping(g, 0, {}, &ctx));
   }
@@ -236,7 +238,7 @@ void BM_DeltaSteppingRoadBaseline(benchmark::State& state) {
   const Graph& g = road_graph();
   sssp::DeltaSteppingOptions o;
   o.frontier.adaptive = false;
-  sssp::DeltaSteppingContext ctx;
+  exec::Context ctx;
   for (auto _ : state) {
     benchmark::DoNotOptimize(sssp::delta_stepping(g, 0, o, &ctx));
   }
@@ -247,7 +249,7 @@ void BM_DeltaSteppingRmatBaseline(benchmark::State& state) {
   const Graph& g = rmat_graph();
   sssp::DeltaSteppingOptions o;
   o.frontier.adaptive = false;
-  sssp::DeltaSteppingContext ctx;
+  exec::Context ctx;
   for (auto _ : state) {
     benchmark::DoNotOptimize(sssp::delta_stepping(g, 0, o, &ctx));
   }
@@ -338,7 +340,7 @@ BENCHMARK(BM_DeltaSteppingMesh)->Arg(1)->Arg(8)->Arg(64)
 
 void BM_DeltaSteppingRmat(benchmark::State& state) {
   const Graph& g = rmat_graph();
-  sssp::DeltaSteppingContext ctx;  // mirrors the Road/Baseline variants
+  exec::Context ctx;  // mirrors the Road/Baseline variants
   for (auto _ : state) {
     benchmark::DoNotOptimize(sssp::delta_stepping(g, 0, {}, &ctx));
   }
@@ -362,6 +364,85 @@ void BM_ClusterRoad(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClusterRoad)->Arg(4)->Arg(64)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Context-reuse A/B — the tentpole of the unified execution runtime
+// (exec/context.hpp), measured end to end. The Fresh variants run every
+// CLUSTER / CL-DIAM call on its own context (what every caller paid before
+// the runtime existed: engine arrays reallocated, every Δ of the doubling
+// search re-presplit per call); the Reuse variants share one context across
+// the loop, so steady-state calls hit the pooled engine and the keyed layout
+// caches. Results are bit-identical (tests/test_exec_context.cpp); only the
+// wall time moves. Road (sparse, many doubling stages) and rmat (dense,
+// heavy presplits) cover both cost profiles.
+
+core::ClusterOptions cluster_bench_options() {
+  core::ClusterOptions o;
+  o.tau = 16;
+  o.seed = 3;
+  return o;
+}
+
+void BM_ClusterContextReuseRoad(benchmark::State& state) {
+  const Graph& g = road_graph();
+  const core::ClusterOptions o = cluster_bench_options();
+  exec::Context ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cluster(g, o, &ctx));
+  }
+}
+BENCHMARK(BM_ClusterContextReuseRoad)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterContextFreshRoad(benchmark::State& state) {
+  const Graph& g = road_graph();
+  const core::ClusterOptions o = cluster_bench_options();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cluster(g, o));
+  }
+}
+BENCHMARK(BM_ClusterContextFreshRoad)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterContextReuseRmat(benchmark::State& state) {
+  const Graph& g = rmat_graph();
+  const core::ClusterOptions o = cluster_bench_options();
+  exec::Context ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cluster(g, o, &ctx));
+  }
+}
+BENCHMARK(BM_ClusterContextReuseRmat)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterContextFreshRmat(benchmark::State& state) {
+  const Graph& g = rmat_graph();
+  const core::ClusterOptions o = cluster_bench_options();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cluster(g, o));
+  }
+}
+BENCHMARK(BM_ClusterContextFreshRmat)->Unit(benchmark::kMillisecond);
+
+// Same A/B over the whole CL-DIAM pipeline (decompose + quotient +
+// quotient diameter) on the road family.
+void BM_DiameterContextReuseRoad(benchmark::State& state) {
+  const Graph& g = road_graph();
+  core::DiameterApproxOptions o;
+  o.cluster = cluster_bench_options();
+  exec::Context ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::approximate_diameter(g, o, &ctx));
+  }
+}
+BENCHMARK(BM_DiameterContextReuseRoad)->Unit(benchmark::kMillisecond);
+
+void BM_DiameterContextFreshRoad(benchmark::State& state) {
+  const Graph& g = road_graph();
+  core::DiameterApproxOptions o;
+  o.cluster = cluster_bench_options();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::approximate_diameter(g, o));
+  }
+}
+BENCHMARK(BM_DiameterContextFreshRoad)->Unit(benchmark::kMillisecond);
 
 void BM_ConnectedComponents(benchmark::State& state) {
   const Graph& g = rmat_graph();
@@ -471,6 +552,26 @@ int main(int argc, char** argv) {
   const auto rmat_run = sssp::delta_stepping(rmat_graph(), 0, {});
   report.put("rmat_sparse_rounds", rmat_run.stats.sparse_rounds);
   report.put("rmat_dense_rounds", rmat_run.stats.dense_rounds);
+
+  // Context-reuse A/B (exec/context.hpp): reused-context CLUSTER / CL-DIAM
+  // over fresh-context, per family. >= 1.0 means reuse pays.
+  const auto reuse_ratio = [&](const char* fresh, const char* reuse) {
+    const double f = real_time_of(reporter.runs, fresh);
+    const double r = real_time_of(reporter.runs, reuse);
+    return (f > 0.0 && r > 0.0) ? f / r : 0.0;
+  };
+  if (const double s = reuse_ratio("BM_ClusterContextFreshRoad",
+                                   "BM_ClusterContextReuseRoad")) {
+    report.put("cluster_context_reuse_speedup_road", s);
+  }
+  if (const double s = reuse_ratio("BM_ClusterContextFreshRmat",
+                                   "BM_ClusterContextReuseRmat")) {
+    report.put("cluster_context_reuse_speedup_rmat", s);
+  }
+  if (const double s = reuse_ratio("BM_DiameterContextFreshRoad",
+                                   "BM_DiameterContextReuseRoad")) {
+    report.put("diameter_context_reuse_speedup_road", s);
+  }
   for (const auto& r : reporter.runs) {
     report.add_row()
         .put("name", r.name)

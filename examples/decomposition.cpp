@@ -58,13 +58,19 @@ int main(int argc, char** argv) {
   std::printf("road network: n=%u m=%llu\n\n", g.num_nodes(),
               static_cast<unsigned long long>(g.num_edges()));
 
+  // One exec::Context for the whole granularity sweep: every CLUSTER call
+  // below reuses the same pooled growing engine, and any Δ-presplit the
+  // doubling search builds is shared across the tau values. The
+  // decompositions are identical to context-free calls.
+  exec::Context ctx;
+
   // Sweep granularities: radius and rounds shrink as tau grows.
   for (const std::uint32_t tau : {2u, 16u, 128u}) {
     std::printf("CLUSTER(G, tau=%u):\n", tau);
     core::ClusterOptions o;
     o.tau = tau;
     o.seed = 5;
-    describe(g, core::cluster(g, o));
+    describe(g, core::cluster(g, o, &ctx));
     std::printf("\n");
   }
 
@@ -73,8 +79,8 @@ int main(int argc, char** argv) {
   core::ClusterOptions o;
   o.tau = static_cast<std::uint32_t>(opts.get_int("tau", 16));
   o.seed = 5;
-  const core::Clustering c = core::cluster(g, o);
-  const core::QuotientGraph q = core::build_quotient(g, c);
+  const core::Clustering c = core::cluster(g, o, &ctx);
+  const core::QuotientGraph q = core::build_quotient(g, c, &ctx);
   std::printf("quotient at tau=%u: %u nodes, %llu edges (%.1f%% of input)\n",
               o.tau, q.graph.num_nodes(),
               static_cast<unsigned long long>(q.graph.num_edges()),

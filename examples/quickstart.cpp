@@ -3,8 +3,13 @@
 // Builds a small weighted mesh, runs CL-DIAM, and cross-checks against the
 // exact diameter. This is the minimal end-to-end use of the public API:
 //   1. get a Graph (generator, file, or GraphBuilder),
-//   2. call core::approximate_diameter,
-//   3. read the conservative estimate and the MR cost counters.
+//   2. make an exec::Context (the reusable execution runtime: pooled
+//      engines/buffers, cached graph layouts, per-phase cost accounting),
+//   3. call core::approximate_diameter with it,
+//   4. read the conservative estimate and the MR cost counters.
+// The context is optional — approximate_diameter(g, options) works too — but
+// passing one makes repeated runs on the same graph reuse every derived
+// layout, and its StatsSink shows where the rounds/work went.
 
 #include <cstdio>
 
@@ -20,12 +25,13 @@ int main() {
               g.avg_weight());
 
   // CL-DIAM with default options (CLUSTER decomposition, initial Delta =
-  // average edge weight, radius-aware estimate).
+  // average edge weight, radius-aware estimate), run on one exec::Context.
   core::DiameterApproxOptions options;
   options.cluster.tau = 32;   // decomposition granularity
   options.cluster.seed = 1;   // reproducible center selection
+  exec::Context ctx;
   const core::DiameterApproxResult result =
-      core::approximate_diameter(g, options);
+      core::approximate_diameter(g, options, &ctx);
 
   std::printf("CL-DIAM estimate:       %.4f (conservative upper bound)\n",
               result.estimate);
@@ -36,10 +42,21 @@ int main() {
               static_cast<unsigned long long>(result.quotient_edges));
   std::printf("  MR cost:              %s\n",
               mr::to_string(result.stats).c_str());
+  // The context's StatsSink breaks the cost down by pipeline phase.
+  for (const auto& [phase, stats] : ctx.stats().phases()) {
+    std::printf("    %-10s          %s\n", phase.c_str(),
+                mr::to_string(stats).c_str());
+  }
 
   // Ground truth via the iterated-sweep lower bound (what the paper uses
-  // for graphs too large for exact all-pairs computation).
-  const Weight lower = sssp::diameter_lower_bound(g, 8, 7).lower_bound;
+  // for graphs too large for exact all-pairs computation). The Δ-stepping
+  // kernel shares the context, so all eight sweeps reuse one presplit and
+  // one pooled buffer set; the bound equals the Dijkstra methodology's.
+  sssp::SweepOptions sweep;
+  sweep.max_sweeps = 8;
+  sweep.seed = 7;
+  sweep.use_delta_stepping = true;
+  const Weight lower = sssp::diameter_lower_bound(g, sweep, &ctx).lower_bound;
   std::printf("sweep lower bound:      %.4f\n", lower);
   std::printf("approximation ratio:  <=%.4f\n", result.estimate / lower);
   return 0;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/partial_growth.hpp"
+#include "exec/context.hpp"
 #include "util/rng.hpp"
 
 namespace gdiam::core {
@@ -50,7 +52,8 @@ bool Clustering::validate(const Graph& g) const {
   return true;
 }
 
-Clustering cluster(const Graph& g, const ClusterOptions& opts) {
+Clustering cluster(const Graph& g, const ClusterOptions& opts,
+                   exec::Context* ctx) {
   if (opts.tau == 0) throw std::invalid_argument("cluster: tau must be >= 1");
   const NodeId n = g.num_nodes();
 
@@ -60,9 +63,11 @@ Clustering cluster(const Graph& g, const ClusterOptions& opts) {
 
   if (n == 0) return out;
 
-  GrowingEngine engine(g, opts.policy, opts.partition);
-  engine.set_frontier_options(opts.frontier);
-  std::vector<std::uint8_t> covered(n, 0);
+  exec::Context local_ctx;
+  exec::Context& C = ctx != nullptr ? *ctx : local_ctx;
+  detail::PartialGrowthDriver drv(g, opts, C, out);
+  GrowingEngine& engine = drv.engine();
+
   // Upper bound on the distance from each center to its cluster's current
   // boundary; newly covered nodes get dist = offset(center) + stage label.
   std::vector<Weight> cluster_offset(n, 0.0);
@@ -78,156 +83,185 @@ Clustering cluster(const Graph& g, const ClusterOptions& opts) {
 
   Weight delta = initial_delta(g, opts);
   util::Xoshiro256 rng(opts.seed);
-  NodeId uncovered = n;
 
-  while (static_cast<double>(uncovered) >= stop_threshold && uncovered > 0) {
-    out.stages++;
-    const NodeId uncovered_at_start = uncovered;
+  // The CLUSTER growth rule for the shared stage driver
+  // (core/partial_growth.hpp): fresh random centers among the uncovered each
+  // stage, geometrically increasing Δ until half the uncovered nodes are
+  // captured, contraction with the relaxation-forest distance fix-up.
+  NodeId uncovered_at_start = 0;
+  std::uint64_t labeled_uncovered = 0;
+  std::vector<NodeId> new_centers;
 
-    // --- center selection (one MR round: sample + broadcast) -------------
-    out.stats.auxiliary_rounds++;
-    const double p = std::min(
-        1.0, opts.gamma * static_cast<double>(opts.tau) * logn /
-                 static_cast<double>(uncovered));
-    engine.clear_labels();
-    std::vector<NodeId> new_centers;
-    for (NodeId u = 0; u < n; ++u) {
-      if (!covered[u] && rng.next_bernoulli(p)) new_centers.push_back(u);
+  struct Rule {
+    Clustering& out;
+    detail::PartialGrowthDriver& drv;
+    GrowingEngine& engine;
+    const Graph& g;
+    const ClusterOptions& opts;
+    util::Xoshiro256& rng;
+    const double stop_threshold;
+    const Weight max_useful_delta;
+    Weight& delta;
+    std::vector<Weight>& cluster_offset;
+    NodeId& uncovered_at_start;
+    std::uint64_t& labeled_uncovered;
+    std::vector<NodeId>& new_centers;
+    const double logn;
+
+    bool more_stages() const {
+      return static_cast<double>(drv.uncovered()) >= stop_threshold &&
+             drv.uncovered() > 0;
     }
-    if (new_centers.empty()) {
-      // The w.h.p. analysis assumes at least one center per stage; force one
-      // so the implementation always makes progress.
-      NodeId pick = kInvalidNode;
-      std::uint64_t skip = rng.next_bounded(uncovered);
-      for (NodeId u = 0; u < n && pick == kInvalidNode; ++u) {
-        if (!covered[u] && skip-- == 0) pick = u;
+
+    // --- center selection (one MR round: sample + broadcast) --------------
+    void select_centers() {
+      const NodeId n = g.num_nodes();
+      uncovered_at_start = drv.uncovered();
+      const double p = std::min(
+          1.0, opts.gamma * static_cast<double>(opts.tau) * logn /
+                   static_cast<double>(drv.uncovered()));
+      engine.clear_labels();
+      new_centers.clear();
+      for (NodeId u = 0; u < n; ++u) {
+        if (!drv.is_covered(u) && rng.next_bernoulli(p)) {
+          new_centers.push_back(u);
+        }
       }
-      new_centers.push_back(pick);
-    }
-
-    // --- stage label initialization ---------------------------------------
-    // Contracted clusters re-enter as zero-distance sources (Contract
-    // re-attaches their frontier edges to the center with original weights).
-    for (NodeId u = 0; u < n; ++u) {
-      if (covered[u]) engine.set_source(u, out.center_of[u]);
-    }
-    for (const NodeId c : new_centers) {
-      engine.set_source(c, c);
+      if (new_centers.empty()) {
+        // The w.h.p. analysis assumes at least one center per stage; force
+        // one so the implementation always makes progress.
+        NodeId pick = kInvalidNode;
+        std::uint64_t skip = rng.next_bounded(drv.uncovered());
+        for (NodeId u = 0; u < n && pick == kInvalidNode; ++u) {
+          if (!drv.is_covered(u) && skip-- == 0) pick = u;
+        }
+        new_centers.push_back(pick);
+      }
+      // Contracted clusters re-enter as zero-distance sources (Contract
+      // re-attaches their frontier edges to the center, original weights).
+      for (NodeId u = 0; u < n; ++u) {
+        if (drv.is_covered(u)) engine.set_source(u, out.center_of[u]);
+      }
+      for (const NodeId c : new_centers) {
+        engine.set_source(c, c);
+      }
     }
 
     // --- grow with geometrically increasing Δ -----------------------------
-    const auto target = static_cast<std::uint64_t>((uncovered_at_start + 1) / 2);
-    // New centers are uncovered nodes with d = 0 ≤ Δ: they belong to V'.
-    std::uint64_t labeled_uncovered = new_centers.size();
-    while (true) {
-      GrowingStepParams params;
-      params.light_threshold = delta;
-      params.uniform_budget = delta;
-      engine.rebuild_frontier(params);
+    void grow() {
+      const auto target =
+          static_cast<std::uint64_t>((uncovered_at_start + 1) / 2);
+      // New centers are uncovered nodes with d = 0 ≤ Δ: they are in V'.
+      labeled_uncovered = new_centers.size();
+      while (true) {
+        GrowingStepParams params;
+        params.light_threshold = delta;
+        params.uniform_budget = delta;
+        engine.rebuild_frontier(params);
 
-      // PartialGrowth(G_i, Δ): Δ-growing steps until no state changes or
-      // the coverage target is met (checked per step, as in the pseudocode's
-      // repeat-until).
-      const GrowingEngine::RunResult r = engine.run(
-          params, out.stats, opts.max_steps_per_growth,
-          [&](const GrowingStepResult& total) {
-            return labeled_uncovered + total.newly_labeled >= target;
-          });
-      labeled_uncovered += r.totals.newly_labeled;
-      out.stats.auxiliary_rounds++;  // |V'| count (prefix sum round)
+        // PartialGrowth(G_i, Δ): Δ-growing steps until no state changes or
+        // the coverage target is met (checked per step, as in the
+        // pseudocode's repeat-until).
+        const GrowingEngine::RunResult r = engine.run(
+            params, out.stats, opts.max_steps_per_growth,
+            [&](const GrowingStepResult& total) {
+              return labeled_uncovered + total.newly_labeled >= target;
+            });
+        labeled_uncovered += r.totals.newly_labeled;
+        out.stats.auxiliary_rounds++;  // |V'| count (prefix sum round)
 
-      if (labeled_uncovered >= target) break;
-      // Step cap exhausted mid-growth: accept the partial stage instead of
-      // doubling (the Section 4 bounded-rounds variant — doubling Δ would
-      // not shorten a hop-limited run, only re-pay it).
-      if (r.hit_step_cap) break;
-      // At a fixpoint, doubling unlocks heavier edges and more budget; once
-      // Δ exceeds any possible path weight, the remaining uncovered nodes
-      // are unreachable from the current sources and the stage must settle
-      // for what it has.
-      if (delta >= max_useful_delta) break;
-      delta *= 2.0;
+        if (labeled_uncovered >= target) break;
+        // Step cap exhausted mid-growth: accept the partial stage instead of
+        // doubling (the Section 4 bounded-rounds variant — doubling Δ would
+        // not shorten a hop-limited run, only re-pay it).
+        if (r.hit_step_cap) break;
+        // At a fixpoint, doubling unlocks heavier edges and more budget;
+        // once Δ exceeds any possible path weight, the remaining uncovered
+        // nodes are unreachable from the current sources and the stage must
+        // settle for what it has.
+        if (delta >= max_useful_delta) break;
+        delta *= 2.0;
+      }
     }
 
     // --- assignment + logical contraction (one MR round) ------------------
-    out.stats.auxiliary_rounds++;
-    std::vector<NodeId> newly_covered;
-    for (NodeId u = 0; u < n; ++u) {
-      if (covered[u]) continue;
-      if (!label_assigned(engine.label(u))) continue;
-      newly_covered.push_back(u);
-    }
-    // dist_to_center fix-up: the stage label d_v only measures the path from
-    // the cluster's *boundary* (Contract re-attaches frontier edges at
-    // original weight), so the distance to the center is recovered by
-    // walking the relaxation forest: processing newly covered nodes by
-    // increasing stage label, a node's true parent (the neighbor that set
-    // d_v = d_u + w) is already finalized, giving the exact weight of an
-    // actual center-to-v path — a tight, deterministic upper bound. When
-    // growth stopped early the parent's label may have shifted afterwards;
-    // the per-cluster boundary offset then serves as a safe fallback.
-    std::sort(newly_covered.begin(), newly_covered.end(),
-              [&](NodeId a, NodeId b) {
-                const float da = label_dist(engine.label(a));
-                const float db = label_dist(engine.label(b));
-                if (da != db) return da < db;
-                return a < b;
-              });
-    for (const NodeId v : newly_covered) {
-      const PackedLabel lab = engine.label(v);
-      const NodeId c = label_center(lab);
-      const float bv = label_dist(lab);
-      Weight best = kInfiniteWeight;
-      if (bv == 0.0f) {
-        best = 0.0;  // new center
-      } else {
-        const auto nbr = g.neighbors(v);
-        const auto wts = g.weights(v);
-        for (std::size_t i = 0; i < nbr.size(); ++i) {
-          const NodeId u = nbr[i];
-          // Any already-finalized member of the same cluster (covered in an
-          // earlier stage, or earlier in this sweep) certifies the real path
-          // center -> u -> v of weight dist(u) + w.
-          if (covered[u] && out.center_of[u] == c &&
-              out.dist_to_center[u] != kInfiniteWeight) {
-            best = std::min(best, out.dist_to_center[u] + wts[i]);
+    void contract() {
+      const NodeId n = g.num_nodes();
+      std::vector<NodeId> newly_covered;
+      for (NodeId u = 0; u < n; ++u) {
+        if (drv.is_covered(u)) continue;
+        if (!label_assigned(engine.label(u))) continue;
+        newly_covered.push_back(u);
+      }
+      // dist_to_center fix-up: the stage label d_v only measures the path
+      // from the cluster's *boundary* (Contract re-attaches frontier edges
+      // at original weight), so the distance to the center is recovered by
+      // walking the relaxation forest: processing newly covered nodes by
+      // increasing stage label, a node's true parent (the neighbor that set
+      // d_v = d_u + w) is already finalized, giving the exact weight of an
+      // actual center-to-v path — a tight, deterministic upper bound. When
+      // growth stopped early the parent's label may have shifted afterwards;
+      // the per-cluster boundary offset then serves as a safe fallback.
+      std::sort(newly_covered.begin(), newly_covered.end(),
+                [&](NodeId a, NodeId b) {
+                  const float da = label_dist(engine.label(a));
+                  const float db = label_dist(engine.label(b));
+                  if (da != db) return da < db;
+                  return a < b;
+                });
+      for (const NodeId v : newly_covered) {
+        const PackedLabel lab = engine.label(v);
+        const NodeId c = label_center(lab);
+        const float bv = label_dist(lab);
+        Weight best = kInfiniteWeight;
+        if (bv == 0.0f) {
+          best = 0.0;  // new center
+        } else {
+          const auto nbr = g.neighbors(v);
+          const auto wts = g.weights(v);
+          for (std::size_t i = 0; i < nbr.size(); ++i) {
+            const NodeId u = nbr[i];
+            // Any already-finalized member of the same cluster (covered in
+            // an earlier stage, or earlier in this sweep) certifies the real
+            // path center -> u -> v of weight dist(u) + w.
+            if (drv.is_covered(u) && out.center_of[u] == c &&
+                out.dist_to_center[u] != kInfiniteWeight) {
+              best = std::min(best, out.dist_to_center[u] + wts[i]);
+            }
+          }
+          if (best == kInfiniteWeight) {
+            best = cluster_offset[c] + static_cast<Weight>(bv);  // fallback
           }
         }
-        if (best == kInfiniteWeight) {
-          best = cluster_offset[c] + static_cast<Weight>(bv);  // fallback
-        }
+        drv.cover(v, c, best);
       }
-      covered[v] = 1;
-      engine.block(v);
-      out.center_of[v] = c;
-      out.dist_to_center[v] = best;
-      --uncovered;
+      // The boundary offset advances to the stage's final extent.
+      for (const NodeId v : newly_covered) {
+        cluster_offset[out.center_of[v]] =
+            std::max(cluster_offset[out.center_of[v]], out.dist_to_center[v]);
+      }
     }
-    // The boundary offset advances to the stage's final extent.
-    for (const NodeId v : newly_covered) {
-      cluster_offset[out.center_of[v]] =
-          std::max(cluster_offset[out.center_of[v]], out.dist_to_center[v]);
-    }
-  }
+  };
+
+  Rule rule{out,
+            drv,
+            engine,
+            g,
+            opts,
+            rng,
+            stop_threshold,
+            max_useful_delta,
+            delta,
+            cluster_offset,
+            uncovered_at_start,
+            labeled_uncovered,
+            new_centers,
+            logn};
+  drv.run_stages(rule);
 
   // --- leftover nodes become singleton clusters (one MR round) ------------
   out.stats.auxiliary_rounds++;
-  for (NodeId u = 0; u < n; ++u) {
-    if (out.center_of[u] == kInvalidNode) {
-      out.center_of[u] = u;
-      out.dist_to_center[u] = 0.0;
-    }
-  }
-
-  std::vector<std::uint8_t> is_center(n, 0);
-  for (NodeId u = 0; u < n; ++u) is_center[out.center_of[u]] = 1;
-  for (NodeId u = 0; u < n; ++u) {
-    if (is_center[u]) out.centers.push_back(u);
-  }
-  out.radius = 0.0;
-  for (NodeId u = 0; u < n; ++u) {
-    out.radius = std::max(out.radius, out.dist_to_center[u]);
-  }
+  drv.finalize();
   out.delta_end = delta;
   return out;
 }

@@ -20,8 +20,13 @@
 #include <vector>
 
 #include "core/growing.hpp"
+#include "exec/options.hpp"
 #include "graph/graph.hpp"
 #include "mr/stats.hpp"
+
+namespace gdiam::exec {
+class Context;
+}  // namespace gdiam::exec
 
 namespace gdiam::core {
 
@@ -33,7 +38,13 @@ enum class DeltaInit {
   kFixed,          // caller-provided value (used by the Δ-init ablation)
 };
 
-struct ClusterOptions {
+/// CLUSTER knobs. The shared execution knobs — `frontier` (adaptive
+/// sparse/dense engine for the growing steps; adaptive=false is the legacy
+/// bit-identical baseline), `partition` (shard layout for
+/// GrowingPolicy::kPartitioned; ignored by kPush/kPull) and `presplit`
+/// (Δ-presplit adjacency toggle, threaded into the growing engine) — are
+/// inherited from exec::ExecOptions (DESIGN.md §8).
+struct ClusterOptions : exec::ExecOptions {
   /// Target decomposition granularity τ (number-of-clusters knob; the final
   /// clustering has O(τ log² n) clusters).
   std::uint32_t tau = 64;
@@ -49,13 +60,6 @@ struct ClusterOptions {
   /// remark suggests O(n/τ)); 0 = unlimited.
   std::uint64_t max_steps_per_growth = 0;
   GrowingPolicy policy = GrowingPolicy::kPush;
-  /// Shard layout for GrowingPolicy::kPartitioned (ignored by kPush/kPull):
-  /// number of partitions and hash vs range partitioner.
-  mr::PartitionOptions partition;
-  /// Adaptive sparse/dense frontier engine for the growing steps
-  /// (core/frontier.hpp); adaptive=false selects the legacy full-scan
-  /// baseline — same decomposition and work counters either way.
-  FrontierOptions frontier;
   std::uint64_t seed = 1;
 };
 
@@ -85,8 +89,12 @@ struct Clustering {
 };
 
 /// Runs CLUSTER(G, τ). Every node ends up in exactly one cluster; works on
-/// disconnected graphs (isolated regions become singletons).
-[[nodiscard]] Clustering cluster(const Graph& g, const ClusterOptions& opts);
+/// disconnected graphs (isolated regions become singletons). A non-null
+/// `ctx` (exec/context.hpp) pools the growing engine and the Δ-presplit /
+/// shard-layout caches across calls — the decomposition is bit-identical
+/// with or without one (tests/test_exec_context.cpp).
+[[nodiscard]] Clustering cluster(const Graph& g, const ClusterOptions& opts,
+                                 exec::Context* ctx = nullptr);
 
 /// τ that keeps the final number of clusters around `target_clusters`
 /// (the paper sizes τ so the quotient fits one machine: ≤ 100k nodes).

@@ -37,8 +37,12 @@ struct Cluster2Result {
 };
 
 /// Runs CLUSTER2(G, τ). The returned clustering covers every node; its
-/// radius is R_CL2(τ) = O(R_G(τ) log² n) w.h.p. (Lemma 2).
+/// radius is R_CL2(τ) = O(R_G(τ) log² n) w.h.p. (Lemma 2). A non-null `ctx`
+/// (exec/context.hpp) is shared with the bootstrap CLUSTER run, so both
+/// phases reuse one pooled growing engine and one set of cached layouts;
+/// results are bit-identical with or without one.
 [[nodiscard]] Cluster2Result cluster2(const Graph& g,
-                                      const Cluster2Options& opts);
+                                      const Cluster2Options& opts,
+                                      exec::Context* ctx = nullptr);
 
 }  // namespace gdiam::core

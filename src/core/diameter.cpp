@@ -1,30 +1,39 @@
 #include "core/diameter.hpp"
 
+#include "exec/context.hpp"
+
 namespace gdiam::core {
 
 DiameterApproxResult approximate_diameter(const Graph& g,
-                                          const DiameterApproxOptions& opts) {
+                                          const DiameterApproxOptions& opts,
+                                          exec::Context* ctx) {
   DiameterApproxResult out;
+
+  exec::Context local_ctx;
+  exec::Context& C = ctx != nullptr ? *ctx : local_ctx;
 
   if (opts.use_cluster2) {
     Cluster2Options c2;
     c2.base = opts.cluster;
-    out.clustering = cluster2(g, c2).clustering;
+    out.clustering = cluster2(g, c2, &C).clustering;
   } else {
-    out.clustering = cluster(g, opts.cluster);
+    out.clustering = cluster(g, opts.cluster, &C);
   }
   out.stats = out.clustering.stats;
   out.radius = out.clustering.radius;
   out.num_clusters = out.clustering.num_clusters();
+  C.stats().phase("decompose") += out.clustering.stats;
 
   // Quotient construction is one map-and-reduce over the edge set; the final
   // diameter of the (small) quotient costs O(1) rounds on a single reducer
-  // (paper, Theorem 3).
+  // (paper, Theorem 3). One auxiliary round each, filed under its phase.
   out.stats.auxiliary_rounds += 2;
-  const QuotientGraph q = build_quotient(g, out.clustering);
+  const QuotientGraph q = build_quotient(g, out.clustering, &C);
   out.quotient_edges = q.graph.num_edges();
+  C.stats().phase("quotient").auxiliary_rounds += 1;
 
   const QuotientDiametersResult qd = quotient_diameters(q, opts.quotient);
+  C.stats().phase("diameter").auxiliary_rounds += 1;
   out.quotient_diam = qd.plain;
   out.quotient_exact = qd.exact;
   out.estimate_classic = qd.plain + 2.0 * out.clustering.radius;

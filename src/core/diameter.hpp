@@ -15,6 +15,10 @@
 #include "graph/graph.hpp"
 #include "mr/stats.hpp"
 
+namespace gdiam::exec {
+class Context;
+}  // namespace gdiam::exec
+
 namespace gdiam::core {
 
 struct DiameterApproxOptions {
@@ -55,7 +59,17 @@ struct DiameterApproxResult {
 /// Runs CL-DIAM on g. Works on disconnected graphs: the estimate then bounds
 /// the largest intra-component distance (the paper's disconnected-graph
 /// convention), provided the quotient diameter is exact.
+///
+/// One exec::Context serves the whole pipeline: the decomposition's pooled
+/// growing engine and cached layouts, the quotient construction's shard
+/// reuse, and the all-pairs Dijkstra of the quotient diameter all run under
+/// it, and the context's StatsSink receives the per-phase cost breakdown
+/// (phases "decompose", "quotient", "diameter"; accumulated across runs on a
+/// reused context). The returned result is bit-identical with or without a
+/// context, and between fresh and reused contexts — the context-reuse A/B of
+/// bench/micro_kernels rests on that (tests/test_exec_context.cpp).
 [[nodiscard]] DiameterApproxResult approximate_diameter(
-    const Graph& g, const DiameterApproxOptions& opts = {});
+    const Graph& g, const DiameterApproxOptions& opts = {},
+    exec::Context* ctx = nullptr);
 
 }  // namespace gdiam::core

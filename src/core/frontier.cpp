@@ -178,8 +178,16 @@ void Frontier::advance() {
   }
   bump_round();
   if (opts_.adaptive) {
-    collect_mode_ = nodes_.size() > dense_threshold() ? FrontierMode::kDense
-                                                      : FrontierMode::kSparse;
+    // Hysteresis: cross dense_threshold() to go dense, fall to
+    // sparse_threshold() to come back; sizes inside the band keep the
+    // current representation (no thrashing on oscillating waves).
+    if (collect_mode_ == FrontierMode::kSparse) {
+      if (nodes_.size() > dense_threshold()) {
+        collect_mode_ = FrontierMode::kDense;
+      }
+    } else if (nodes_.size() <= sparse_threshold()) {
+      collect_mode_ = FrontierMode::kSparse;
+    }
   }
 }
 

@@ -35,6 +35,7 @@
 // idempotent per round), materialized order is ascending for dense and
 // block-concatenation order for sparse. Kernels never depend on the order.
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <mutex>
@@ -55,9 +56,19 @@ struct FrontierOptions {
   /// bit-identical A/B baseline); the Frontier itself then always collects
   /// sparse when used directly.
   bool adaptive = true;
-  /// Collection switches to the dense bitmap when the sealed frontier
-  /// exceeds `dense_fraction * n` nodes, and back to sparse below it.
+  /// Hysteresis band of the sparse↔dense switch. Collection switches *up* to
+  /// the dense bitmap when the sealed frontier exceeds `dense_fraction · n`
+  /// nodes, but only drops back to sparse once it falls to
+  /// `sparse_fraction · n` or below. The gap stops representation thrashing
+  /// on oscillating waves (road-network frontiers hovering around one
+  /// threshold would otherwise alternate every round, paying the dense scan
+  /// and the stamp rewrite on alternating rounds); sizes inside the band
+  /// keep the previous round's representation. `sparse_fraction` is clamped
+  /// to `dense_fraction` (a band cannot be inverted); setting them equal
+  /// restores the old single-threshold switch. Representation never changes
+  /// results — only the sparse_rounds/dense_rounds classification moves.
   double dense_fraction = 1.0 / 16.0;
+  double sparse_fraction = 1.0 / 64.0;
   /// Sparse per-thread local queue length; a full queue is flushed into the
   /// shared block list (one brief lock per `local_queue_capacity` inserts).
   std::uint32_t local_queue_capacity = 128;
@@ -133,6 +144,14 @@ class Frontier {
   [[nodiscard]] std::size_t dense_threshold() const noexcept {
     return static_cast<std::size_t>(opts_.dense_fraction *
                                     static_cast<double>(n_));
+  }
+
+  /// Sealed sizes at or below this switch a dense collection back to sparse
+  /// (the hysteresis down-threshold; never above dense_threshold()).
+  [[nodiscard]] std::size_t sparse_threshold() const noexcept {
+    const auto down = static_cast<std::size_t>(opts_.sparse_fraction *
+                                               static_cast<double>(n_));
+    return std::min(down, dense_threshold());
   }
 
  private:

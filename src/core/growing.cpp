@@ -3,13 +3,21 @@
 #include <algorithm>
 #include <atomic>
 
+#include "exec/context.hpp"
+
 namespace gdiam::core {
 
 GrowingEngine::GrowingEngine(const Graph& g, GrowingPolicy policy,
-                             const mr::PartitionOptions& partition)
-    : g_(g), policy_(policy) {
+                             const mr::PartitionOptions& partition,
+                             exec::Context* ctx)
+    : g_(g), policy_(policy), ctx_(ctx), popts_(partition) {
   if (policy_ == GrowingPolicy::kPartitioned) {
-    partition_ = std::make_unique<mr::Partition>(g_, partition);
+    if (ctx_ != nullptr) {
+      partition_ = &ctx_->partition_for(g_, popts_);
+    } else {
+      owned_partition_ = std::make_unique<mr::Partition>(g_, popts_);
+      partition_ = owned_partition_.get();
+    }
     bsp_ = std::make_unique<mr::BspEngine>(*partition_);
     exchange_.resize(partition_->num_partitions());
   }
@@ -129,16 +137,33 @@ void GrowingEngine::snapshot_push_labels() {
 }
 
 void GrowingEngine::ensure_split(Weight threshold) {
-  if (split_ready_ && split_threshold_ == threshold) return;
+  // Context-backed engines re-resolve on every step: other kernels sharing
+  // the context may have LRU-evicted the borrowed entry since the last step
+  // (even at an unchanged threshold), so a cached pointer cannot be trusted
+  // across calls. The cache is MRU-ordered, making the steady-state lookup
+  // an O(1) front-entry compare; an evicted entry is simply rebuilt.
+  if (ctx_ == nullptr && split_ready_ && split_threshold_ == threshold) {
+    return;
+  }
   if (policy_ == GrowingPolicy::kPartitioned) {
-    shard_splits_.clear();
-    shard_splits_.reserve(partition_->num_partitions());
-    for (const mr::Shard& sh : partition_->shards()) {
-      shard_splits_.push_back(
-          presplit_csr(sh.offsets, sh.targets, sh.weights, threshold));
+    if (ctx_ != nullptr) {
+      shard_splits_ = &ctx_->shard_splits_for(g_, popts_, threshold);
+    } else {
+      shard_splits_own_.clear();
+      shard_splits_own_.reserve(partition_->num_partitions());
+      for (const mr::Shard& sh : partition_->shards()) {
+        shard_splits_own_.push_back(
+            presplit_csr(sh.offsets, sh.targets, sh.weights, threshold));
+      }
+      shard_splits_ = &shard_splits_own_;
     }
   } else {
-    split_ = SplitCsr(g_, threshold);
+    if (ctx_ != nullptr) {
+      split_ = &ctx_->split_for(g_, threshold);
+    } else {
+      split_own_ = SplitCsr(g_, threshold);
+      split_ = &split_own_;
+    }
   }
   split_threshold_ = threshold;
   split_ready_ = true;
@@ -179,8 +204,8 @@ GrowingStepResult GrowingEngine::step_push(const GrowingStepParams& params) {
 
     // Presplit: the light segment holds exactly the w ≤ light_threshold arcs,
     // so the heavy-edge filter disappears from the inner loop.
-    const auto nbr = presplit_ ? split_.light_neighbors(u) : g_.neighbors(u);
-    const auto wts = presplit_ ? split_.light_weights(u) : g_.weights(u);
+    const auto nbr = presplit_ ? split_->light_neighbors(u) : g_.neighbors(u);
+    const auto wts = presplit_ ? split_->light_weights(u) : g_.weights(u);
     for (std::size_t i = 0; i < nbr.size(); ++i) {
       const Weight w = wts[i];
       if (!presplit_ && w > params.light_threshold) continue;  // heavy edge
@@ -264,8 +289,8 @@ GrowingStepResult GrowingEngine::step_pull(const GrowingStepParams& params) {
     PackedLabel best = labels_[v];
     // Edge weights are symmetric, so v's light in-edges are exactly its
     // light out-edges: the presplit segment serves the pull direction too.
-    const auto nbr = presplit_ ? split_.light_neighbors(v) : g_.neighbors(v);
-    const auto wts = presplit_ ? split_.light_weights(v) : g_.weights(v);
+    const auto nbr = presplit_ ? split_->light_neighbors(v) : g_.neighbors(v);
+    const auto wts = presplit_ ? split_->light_weights(v) : g_.weights(v);
     for (std::size_t i = 0; i < nbr.size(); ++i) {
       const NodeId u = nbr[i];
       // Nodes unchanged since the last step already delivered their
@@ -327,8 +352,8 @@ GrowingStepResult GrowingEngine::step_pull_adaptive(
         continue;
       }
       PackedLabel best = labels_[v];
-      const auto nbr = presplit_ ? split_.light_neighbors(v) : g_.neighbors(v);
-      const auto wts = presplit_ ? split_.light_weights(v) : g_.weights(v);
+      const auto nbr = presplit_ ? split_->light_neighbors(v) : g_.neighbors(v);
+      const auto wts = presplit_ ? split_->light_weights(v) : g_.weights(v);
       for (std::size_t i = 0; i < nbr.size(); ++i) {
         const NodeId u = nbr[i];
         if (!afrontier_.contains(u)) continue;  // unchanged since last step
@@ -366,8 +391,8 @@ GrowingStepResult GrowingEngine::step_pull_adaptive(
             budget_of(params, label_center(lab)))) {
         continue;
       }
-      const auto nbr = presplit_ ? split_.light_neighbors(u) : g_.neighbors(u);
-      const auto wts = presplit_ ? split_.light_weights(u) : g_.weights(u);
+      const auto nbr = presplit_ ? split_->light_neighbors(u) : g_.neighbors(u);
+      const auto wts = presplit_ ? split_->light_weights(u) : g_.weights(u);
       for (std::size_t i = 0; i < nbr.size(); ++i) {
         if (!presplit_ && wts[i] > params.light_threshold) continue;
         const NodeId v = nbr[i];
@@ -384,8 +409,8 @@ GrowingStepResult GrowingEngine::step_pull_adaptive(
     for (std::size_t r = 0; r < recv.size(); ++r) {
       const NodeId v = recv[r];
       PackedLabel best = labels_[v];
-      const auto nbr = presplit_ ? split_.light_neighbors(v) : g_.neighbors(v);
-      const auto wts = presplit_ ? split_.light_weights(v) : g_.weights(v);
+      const auto nbr = presplit_ ? split_->light_neighbors(v) : g_.neighbors(v);
+      const auto wts = presplit_ ? split_->light_weights(v) : g_.weights(v);
       for (std::size_t i = 0; i < nbr.size(); ++i) {
         const NodeId u = nbr[i];
         if (!afrontier_.contains(u)) continue;
@@ -456,7 +481,7 @@ GrowingStepResult GrowingEngine::step_partitioned(
     std::uint64_t messages = 0;
     // Presplit shards share the flat layout's discipline: the light half of
     // each owned node's permuted segment, no per-edge weight filter.
-    const CsrSplit* ss = presplit_ ? &shard_splits_[sh.id] : nullptr;
+    const CsrSplit* ss = presplit_ ? &(*shard_splits_)[sh.id] : nullptr;
     const NodeId* tgt = presplit_ ? ss->targets.data() : sh.targets.data();
     const Weight* wt = presplit_ ? ss->weights.data() : sh.weights.data();
     for (NodeId l = 0; l < sh.num_owned; ++l) {
@@ -556,7 +581,7 @@ GrowingStepResult GrowingEngine::step_partitioned_adaptive(
 
   auto compute = [&](const mr::Shard& sh, mr::Exchange<LabelProposal>& ex) {
     std::uint64_t messages = 0;
-    const CsrSplit* ss = presplit_ ? &shard_splits_[sh.id] : nullptr;
+    const CsrSplit* ss = presplit_ ? &(*shard_splits_)[sh.id] : nullptr;
     const NodeId* tgt = presplit_ ? ss->targets.data() : sh.targets.data();
     const Weight* wt = presplit_ ? ss->weights.data() : sh.weights.data();
     auto& touched = shard_touched_[sh.id];

@@ -52,6 +52,10 @@
 #include "mr/stats.hpp"
 #include "util/parallel.hpp"
 
+namespace gdiam::exec {
+class Context;
+}  // namespace gdiam::exec
+
 namespace gdiam::core {
 
 enum class GrowingPolicy { kPush, kPull, kPartitioned };
@@ -96,9 +100,18 @@ struct GrowingStepResult {
 class GrowingEngine {
  public:
   /// `partition` configures the kPartitioned policy (number of shards and
-  /// partitioner); ignored by kPush/kPull.
+  /// partitioner); ignored by kPush/kPull. A non-null `ctx` makes the engine
+  /// borrow its shard layout and its Δ-presplit adjacencies from the
+  /// context's keyed caches (exec/context.hpp) instead of building private
+  /// copies — CLUSTER's doubling search and repeated runs on one graph then
+  /// presplit each Δ once per context, not once per engine per stage. The
+  /// context must outlive the engine (contexts pool their engines, so this
+  /// holds by construction for engines obtained via
+  /// exec::Context::growing_engine). Results are bit-identical with or
+  /// without a context (every cached object is a pure function of its key).
   GrowingEngine(const Graph& g, GrowingPolicy policy,
-                const mr::PartitionOptions& partition = {});
+                const mr::PartitionOptions& partition = {},
+                exec::Context* ctx = nullptr);
 
   /// Back to the pristine state: all labels unassigned, nothing blocked.
   void reset();
@@ -214,7 +227,7 @@ class GrowingEngine {
 
   /// The shard layout backing kPartitioned; nullptr for kPush/kPull.
   [[nodiscard]] const mr::Partition* partition() const noexcept {
-    return partition_.get();
+    return partition_;
   }
 
  private:
@@ -251,8 +264,10 @@ class GrowingEngine {
   std::vector<PackedLabel> scratch_;
   std::vector<std::uint8_t> changed_;  // nodes updated in the previous step
   std::vector<std::uint8_t> next_changed_;
-  // partitioned policy state
-  std::unique_ptr<mr::Partition> partition_;
+  // partitioned policy state; partition_ points at either the private
+  // owned_partition_ or the exec::Context's cached layout (ctx_ != nullptr)
+  std::unique_ptr<mr::Partition> owned_partition_;
+  const mr::Partition* partition_ = nullptr;
   std::unique_ptr<mr::BspEngine> bsp_;
   mr::Exchange<LabelProposal> exchange_;
   // adaptive frontier engine state (fopts_.adaptive, the default)
@@ -266,12 +281,18 @@ class GrowingEngine {
   std::vector<std::vector<NodeId>> shard_active_next_;
   std::vector<std::vector<NodeId>> shard_touched_;
   // Δ-presplit adjacency, cached per light_threshold (rebuilt when a stage
-  // changes the threshold, not per step)
+  // changes the threshold, not per step). Context-backed engines instead
+  // look the split up in the context's keyed cache at every threshold change
+  // — a short MRU scan — so repeated thresholds presplit once per context.
+  exec::Context* ctx_ = nullptr;
+  mr::PartitionOptions popts_;
   bool presplit_ = true;
   bool split_ready_ = false;
   Weight split_threshold_ = 0.0;
-  SplitCsr split_;                      // kPush / kPull
-  std::vector<CsrSplit> shard_splits_;  // kPartitioned
+  SplitCsr split_own_;                      // kPush / kPull, standalone
+  const SplitCsr* split_ = nullptr;         // active view
+  std::vector<CsrSplit> shard_splits_own_;  // kPartitioned, standalone
+  const std::vector<CsrSplit>* shard_splits_ = nullptr;  // active view
 };
 
 }  // namespace gdiam::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/context.hpp"
 #include "graph/builder.hpp"
 #include "sssp/dijkstra.hpp"
 #include "sssp/sweep.hpp"
@@ -12,7 +13,8 @@
 
 namespace gdiam::core {
 
-QuotientGraph build_quotient(const Graph& g, const Clustering& clustering) {
+QuotientGraph build_quotient(const Graph& g, const Clustering& clustering,
+                             exec::Context* ctx) {
   const NodeId n = g.num_nodes();
   if (clustering.center_of.size() != n) {
     throw std::invalid_argument("build_quotient: clustering/graph mismatch");
@@ -45,28 +47,55 @@ QuotientGraph build_quotient(const Graph& g, const Clustering& clustering) {
     out.cluster_radius[c] = util::double_from_order_bits(radius_bits[c]);
   }
 
-  // Inter-cluster edge scan over the whole edge set — run once per round on
-  // all of G, this was the last serial per-round phase. Each thread emits
-  // into its own buffer; GraphBuilder's sort+dedup makes the final quotient
+  // Inter-cluster edge scan over the whole edge set. Each thread emits into
+  // its own buffer; GraphBuilder's sort+dedup makes the final quotient
   // independent of emission order, so the result is bit-identical to the
-  // serial construction.
+  // serial construction — and independent of which layout is scanned. When
+  // the context already holds a shard layout for g (a partitioned CLUSTER
+  // run on the same context built one), the scan walks the shards' owned
+  // arcs — every directed arc lives in exactly its source's shard, so the
+  // u < v filter sees each undirected edge exactly once, like the flat scan.
   util::ThreadBuffers<Edge> cut_edges;
+  const mr::Partition* part = ctx != nullptr ? ctx->find_partition(g) : nullptr;
+  if (part != nullptr && part->num_partitions() > 1) {
+    // Shards in sequence, nodes within a shard in parallel: parallelism stays
+    // O(n) like the flat scan even when K is far below the thread count (a
+    // parallel-over-shards loop would cap the O(m) scan at K threads).
+    for (const mr::Shard& sh : part->shards()) {
 #pragma omp parallel for schedule(dynamic, 1024)
-  for (NodeId u = 0; u < n; ++u) {
-    const auto nbr = g.neighbors(u);
-    const auto wts = g.weights(u);
-    const NodeId cu = out.cluster_of_node[u];
-    auto& buf = cut_edges.local();
-    for (std::size_t i = 0; i < nbr.size(); ++i) {
-      const NodeId v = nbr[i];
-      if (u >= v) continue;  // each undirected edge once
-      const NodeId cv = out.cluster_of_node[v];
-      if (cu == cv) continue;  // intra-cluster edges vanish
-      // Inter-cluster weight w(u,v) + d_u + d_v; GraphBuilder keeps the
-      // minimum over parallel edges (the paper's rule).
-      buf.push_back(Edge{cu, cv,
-                         wts[i] + clustering.dist_to_center[u] +
-                             clustering.dist_to_center[v]});
+      for (NodeId l = 0; l < sh.num_owned; ++l) {
+        const NodeId u = sh.global_of_local[l];
+        const NodeId cu = out.cluster_of_node[u];
+        auto& buf = cut_edges.local();
+        for (EdgeIndex i = sh.offsets[l]; i < sh.offsets[l + 1]; ++i) {
+          const NodeId v = sh.global_of_local[sh.targets[i]];
+          if (u >= v) continue;  // each undirected edge once
+          const NodeId cv = out.cluster_of_node[v];
+          if (cu == cv) continue;  // intra-cluster edges vanish
+          buf.push_back(Edge{cu, cv,
+                             sh.weights[i] + clustering.dist_to_center[u] +
+                                 clustering.dist_to_center[v]});
+        }
+      }
+    }
+  } else {
+#pragma omp parallel for schedule(dynamic, 1024)
+    for (NodeId u = 0; u < n; ++u) {
+      const auto nbr = g.neighbors(u);
+      const auto wts = g.weights(u);
+      const NodeId cu = out.cluster_of_node[u];
+      auto& buf = cut_edges.local();
+      for (std::size_t i = 0; i < nbr.size(); ++i) {
+        const NodeId v = nbr[i];
+        if (u >= v) continue;  // each undirected edge once
+        const NodeId cv = out.cluster_of_node[v];
+        if (cu == cv) continue;  // intra-cluster edges vanish
+        // Inter-cluster weight w(u,v) + d_u + d_v; GraphBuilder keeps the
+        // minimum over parallel edges (the paper's rule).
+        buf.push_back(Edge{cu, cv,
+                           wts[i] + clustering.dist_to_center[u] +
+                               clustering.dist_to_center[v]});
+      }
     }
   }
   GraphBuilder b(k);

@@ -14,6 +14,10 @@
 #include "core/cluster.hpp"
 #include "graph/graph.hpp"
 
+namespace gdiam::exec {
+class Context;
+}  // namespace gdiam::exec
+
 namespace gdiam::core {
 
 struct QuotientGraph {
@@ -27,9 +31,15 @@ struct QuotientGraph {
   std::vector<Weight> cluster_radius;
 };
 
-/// Builds G_C from a clustering of g.
+/// Builds G_C from a clustering of g. When `ctx` (exec/context.hpp) holds a
+/// cached shard layout for g — a partitioned CLUSTER run on the same context
+/// leaves one behind — the inter-cluster edge scan walks the shards' owned
+/// arcs instead of the flat CSR, reusing the layout the decomposition paid
+/// for; the quotient is bit-identical either way (GraphBuilder's sort+dedup
+/// makes the result independent of emission order).
 [[nodiscard]] QuotientGraph build_quotient(const Graph& g,
-                                           const Clustering& clustering);
+                                           const Clustering& clustering,
+                                           exec::Context* ctx = nullptr);
 
 struct QuotientDiameterOptions {
   /// Up to this many quotient nodes the diameter is computed exactly

@@ -1,0 +1,37 @@
+#pragma once
+// Shared execution knobs (DESIGN.md §8).
+//
+// Every round-based kernel in gdiam is steered by the same three choices:
+// which frontier engine maintains the per-round active sets, how many BSP
+// shards the kernel runs on, and whether the Δ-presplit adjacency layout is
+// used. Before the unified runtime these knobs were duplicated across
+// DeltaSteppingOptions, ClusterOptions and the GrowingEngine setters, and
+// could silently disagree between pipeline layers (a CLUSTER run configured
+// adaptive could hand its quotient sweep a default-configured Δ-stepping).
+// ExecOptions is the single definition; kernel option structs inherit it, so
+// one assignment configures a whole pipeline.
+
+#include "core/frontier.hpp"
+#include "mr/partition.hpp"
+
+namespace gdiam::exec {
+
+/// The execution knobs shared by Δ-stepping, the Δ-growing policies, and the
+/// CLUSTER / CLUSTER2 / CL-DIAM drivers. Kernel-specific option structs
+/// (sssp::DeltaSteppingOptions, core::ClusterOptions) inherit these fields,
+/// and exec::Context carries a copy as the pipeline-wide default.
+struct ExecOptions {
+  /// Adaptive sparse/dense frontier engine for the per-round active sets
+  /// (core/frontier.hpp); `frontier.adaptive = false` selects the legacy
+  /// full-scan round paths — bit-identical results, the A/B baseline.
+  core::FrontierOptions frontier;
+  /// Shard layout for the partitioned BSP backends; num_partitions <= 1
+  /// selects the flat shared-memory kernels.
+  mr::PartitionOptions partition;
+  /// Δ-presplit adjacency (graph/split_csr.hpp): iterate exactly the edge
+  /// class a phase needs, no per-edge weight branch. `false` keeps the
+  /// branch-filter loops — bit-identical, the A/B baseline.
+  bool presplit = true;
+};
+
+}  // namespace gdiam::exec

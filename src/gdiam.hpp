@@ -20,6 +20,8 @@
 #include "core/labels.hpp"     // IWYU pragma: export
 #include "core/quotient.hpp"   // IWYU pragma: export
 #include "core/serialize.hpp"  // IWYU pragma: export
+#include "exec/context.hpp"    // IWYU pragma: export
+#include "exec/options.hpp"    // IWYU pragma: export
 #include "gen/basic.hpp"       // IWYU pragma: export
 #include "gen/mesh.hpp"        // IWYU pragma: export
 #include "gen/product.hpp"     // IWYU pragma: export

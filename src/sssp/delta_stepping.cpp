@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "exec/context.hpp"
 #include "mr/bsp_engine.hpp"
 #include "util/bitpack.hpp"
 #include "util/parallel.hpp"
@@ -98,66 +99,18 @@ bool RoundBuffers::stamp_once(NodeId v) {
   return true;
 }
 
-const SplitCsr& DeltaSteppingContext::split_for(const Graph& g, Weight delta) {
-  // The pointer alone could alias a destroyed graph reallocated at the same
-  // address; the structural key (n, arcs) catches the common shapes of that
-  // accident. It is a guard, not a guarantee — the documented contract is
-  // that a cached graph outlives the context unchanged (same as Graph&).
-  if (split_graph_ != &g || split_nodes_ != g.num_nodes() ||
-      split_arcs_ != g.num_directed_edges() || split_delta_ != delta ||
-      split_.empty()) {
-    split_ = SplitCsr(g, delta);
-    split_graph_ = &g;
-    split_nodes_ = g.num_nodes();
-    split_arcs_ = g.num_directed_edges();
-    split_delta_ = delta;
-  }
-  return split_;
-}
-
-const mr::Partition& DeltaSteppingContext::partition_for(
-    const Graph& g, const mr::PartitionOptions& opts) {
-  if (part_ == nullptr || part_graph_ != &g ||
-      part_nodes_ != g.num_nodes() || part_arcs_ != g.num_directed_edges() ||
-      part_opts_.num_partitions != opts.num_partitions ||
-      part_opts_.strategy != opts.strategy) {
-    part_ = std::make_unique<mr::Partition>(g, opts);
-    part_graph_ = &g;
-    part_nodes_ = g.num_nodes();
-    part_arcs_ = g.num_directed_edges();
-    part_opts_ = opts;
-    shard_split_part_ = nullptr;  // dependent cache is now stale
-  }
-  return *part_;
-}
-
-const std::vector<CsrSplit>& DeltaSteppingContext::shard_splits_for(
-    const mr::Partition& part, Weight delta) {
-  if (shard_split_part_ != &part || shard_split_delta_ != delta) {
-    shard_splits_.clear();
-    shard_splits_.reserve(part.num_partitions());
-    for (const mr::Shard& sh : part.shards()) {
-      shard_splits_.push_back(
-          presplit_csr(sh.offsets, sh.targets, sh.weights, delta));
-    }
-    shard_split_part_ = &part;
-    shard_split_delta_ = delta;
-  }
-  return shard_splits_;
-}
-
 DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
                                    const DeltaSteppingOptions& opts,
-                                   DeltaSteppingContext* ctx) {
+                                   exec::Context* ctx) {
   const NodeId n = g.num_nodes();
   if (source >= n) throw std::out_of_range("delta_stepping: bad source");
 
   // All round-lifetime scratch lives in the context's RoundBuffers pool —
   // allocated once per run, and reused across runs when the caller passes a
-  // long-lived context (sweep iterations, multi-source benches).
-  DeltaSteppingContext local_ctx;
-  DeltaSteppingContext& C = ctx != nullptr ? *ctx : local_ctx;
-  RoundBuffers& rb = C.buffers;
+  // long-lived context (sweep iterations, CL-DIAM pipelines, benches).
+  exec::Context local_ctx;
+  exec::Context& C = ctx != nullptr ? *ctx : local_ctx;
+  RoundBuffers& rb = C.round_buffers();
   const bool adaptive = opts.frontier.adaptive;
   rb.reset(n, opts.frontier);
 
@@ -223,7 +176,7 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
     if (part == nullptr) {
       split = &C.split_for(g, delta);
     } else {
-      shard_splits = &C.shard_splits_for(*part, delta);
+      shard_splits = &C.shard_splits_for(g, opts.partition, delta);
     }
   }
 

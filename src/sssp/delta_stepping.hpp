@@ -25,8 +25,8 @@
 // Frontier maintenance (improved-node sets, settled-set dedup, bucket and
 // exchange scratch) runs on the adaptive sparse/dense engine and the
 // RoundBuffers pool of core/frontier.hpp / DESIGN.md §7; repeated runs on
-// one graph share a DeltaSteppingContext so the Δ-presplit and the pools
-// carry across sources.
+// one graph share an exec::Context (exec/context.hpp) so the Δ-presplit and
+// the pools carry across sources.
 
 #include <cstdint>
 #include <memory>
@@ -34,37 +34,30 @@
 #include <vector>
 
 #include "core/frontier.hpp"
+#include "exec/options.hpp"
 #include "graph/graph.hpp"
 #include "graph/split_csr.hpp"
 #include "mr/exchange.hpp"
 #include "mr/partition.hpp"
 #include "mr/stats.hpp"
 
+namespace gdiam::exec {
+class Context;
+}  // namespace gdiam::exec
+
 namespace gdiam::sssp {
 
-struct DeltaSteppingOptions {
+/// Δ-stepping knobs. The shared execution knobs — `frontier` (adaptive
+/// sparse/dense engine + RoundBuffers pool; adaptive=false is the legacy
+/// bit-identical baseline), `partition` (BSP shard layout; K <= 1 = flat
+/// kernel) and `presplit` (Δ-presplit adjacency vs the branch-filter
+/// baseline) — are inherited from exec::ExecOptions, the single definition
+/// every gdiam kernel shares (DESIGN.md §8).
+struct DeltaSteppingOptions : exec::ExecOptions {
   /// Bucket width; 0 selects the common heuristic Δ = avg edge weight.
   Weight delta = 0.0;
   /// Cap on light-phase iterations per bucket (safety valve; 0 = unlimited).
   std::uint64_t max_phases_per_bucket = 0;
-  /// Relax over the Δ-presplit adjacency (graph/split_csr.hpp): one O(m)
-  /// reorder up front, then every light/heavy phase iterates exactly its edge
-  /// class with no per-edge weight branch and no double scan. `false` keeps
-  /// the branch-filter loops over the original CSR — bit-identical results
-  /// (the tests enforce it); it exists as the A/B baseline for
-  /// bench/micro_kernels and costs one weight comparison per arc per phase.
-  bool presplit = true;
-  /// Adaptive sparse/dense frontier engine (core/frontier.hpp) for the
-  /// per-phase improved-node sets, plus the RoundBuffers pool: bucket
-  /// arrays, stamps and exchange scratch are allocated once per run instead
-  /// of once per round, and the settled-set dedup is stamp-based instead of
-  /// sort+unique. `frontier.adaptive = false` keeps the legacy full
-  /// gather/sort path — bit-identical distances and counters (enforced by
-  /// tests/test_frontier.cpp); it exists as the A/B baseline.
-  core::FrontierOptions frontier;
-  /// Shard layout for the partitioned BSP backend; num_partitions <= 1
-  /// selects the flat shared-memory kernel.
-  mr::PartitionOptions partition;
 };
 
 /// One cross-shard relaxation request: "lower dist of your node `target`
@@ -81,8 +74,8 @@ static_assert(sizeof(DistProposal) == 12);
 /// touches once per bucket or phase — tentative distances, cyclic bucket
 /// slots, drained/settled/frontier lists, snapshot pairs, per-vertex stamps,
 /// the adaptive improved-set Frontier and the partitioned exchange staging —
-/// is allocated here once per run. Passed across runs through a
-/// DeltaSteppingContext, steady-state runs allocate almost nothing.
+/// is allocated here once per run. Owned by an exec::Context and carried
+/// across runs, steady-state runs allocate almost nothing.
 struct RoundBuffers {
   core::Frontier improved;               // per-phase improved-node set
   std::vector<std::uint64_t> dist_bits;  // order-encoded tentative distances
@@ -116,49 +109,6 @@ struct RoundBuffers {
   [[nodiscard]] bool stamp_once(NodeId v);
 };
 
-/// Reusable cross-run state for repeated Δ-stepping on the same graph (the
-/// iterated sweep in sssp/sweep.cpp, multi-source benches): the RoundBuffers
-/// pool plus caches of the Δ-presplit adjacency and the shard layout, keyed
-/// by (graph, Δ) / (graph, partition options), so equal-Δ repetitions reuse
-/// one SplitCsr instead of re-presplitting per source. Lifetime contract:
-/// a graph passed alongside a context must outlive it unchanged (the same
-/// contract as holding a Graph&); the structural (n, arcs) cache key only
-/// guards against the common reallocation accidents, not mutation.
-class DeltaSteppingContext {
- public:
-  DeltaSteppingContext() = default;
-  DeltaSteppingContext(const DeltaSteppingContext&) = delete;
-  DeltaSteppingContext& operator=(const DeltaSteppingContext&) = delete;
-
-  RoundBuffers buffers;
-
-  /// Cached graph-level split for (g, delta); rebuilt only when stale.
-  const SplitCsr& split_for(const Graph& g, Weight delta);
-  /// Cached shard layout for (g, opts); rebuilt only when stale.
-  const mr::Partition& partition_for(const Graph& g,
-                                     const mr::PartitionOptions& opts);
-  /// Cached per-shard splits for (partition_for(g, opts), delta).
-  const std::vector<CsrSplit>& shard_splits_for(const mr::Partition& part,
-                                                Weight delta);
-
- private:
-  // Caches are keyed by graph pointer *and* (n, arcs) so a different graph
-  // reallocated at a stale address rebuilds instead of reusing stale data.
-  const Graph* split_graph_ = nullptr;
-  NodeId split_nodes_ = 0;
-  EdgeIndex split_arcs_ = 0;
-  Weight split_delta_ = -1.0;
-  SplitCsr split_;
-  const Graph* part_graph_ = nullptr;
-  NodeId part_nodes_ = 0;
-  EdgeIndex part_arcs_ = 0;
-  mr::PartitionOptions part_opts_;
-  std::unique_ptr<mr::Partition> part_;
-  const mr::Partition* shard_split_part_ = nullptr;
-  Weight shard_split_delta_ = -1.0;
-  std::vector<CsrSplit> shard_splits_;
-};
-
 struct DeltaSteppingResult {
   std::vector<Weight> dist;
   mr::RoundStats stats;
@@ -172,11 +122,11 @@ struct DeltaSteppingResult {
 
 /// Parallel Δ-stepping from `source`. Distances are exact (same relaxation
 /// fixpoint as Dijkstra); deterministic via atomic min-reduction. A non-null
-/// `ctx` pools RoundBuffers and the split/partition caches across runs
-/// (results are identical with or without one).
+/// `ctx` (exec/context.hpp) pools the RoundBuffers and the split/partition
+/// caches across runs (results are identical with or without one).
 [[nodiscard]] DeltaSteppingResult delta_stepping(
     const Graph& g, NodeId source, const DeltaSteppingOptions& opts = {},
-    DeltaSteppingContext* ctx = nullptr);
+    exec::Context* ctx = nullptr);
 
 /// Diameter upper bound 2·ecc(source) plus the stats of the underlying run —
 /// the SSSP-based approximation the paper compares against.

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "exec/context.hpp"
 #include "sssp/dijkstra.hpp"
 #include "util/rng.hpp"
 
 namespace gdiam::sssp {
 
-SweepResult diameter_lower_bound(const Graph& g, const SweepOptions& opts) {
+SweepResult diameter_lower_bound(const Graph& g, const SweepOptions& opts,
+                                 exec::Context* ctx) {
   SweepResult out;
   const NodeId n = g.num_nodes();
   if (n == 0 || opts.max_sweeps == 0) return out;
@@ -21,7 +23,8 @@ SweepResult diameter_lower_bound(const Graph& g, const SweepOptions& opts) {
   // One context for the whole sweep sequence: every repetition runs with the
   // same Δ, so the SplitCsr (and, for K > 1, the partition and its shard
   // splits) is built exactly once, and the RoundBuffers pool is reused.
-  DeltaSteppingContext ctx;
+  exec::Context local_ctx;
+  exec::Context& C = ctx != nullptr ? *ctx : local_ctx;
 
   for (unsigned s = 0; s < opts.max_sweeps; ++s) {
     // The farthest node of the previous sweep becomes the next source
@@ -34,7 +37,7 @@ SweepResult diameter_lower_bound(const Graph& g, const SweepOptions& opts) {
     NodeId farthest = source;
     if (opts.use_delta_stepping) {
       const DeltaSteppingResult r =
-          delta_stepping(g, source, opts.delta, &ctx);
+          delta_stepping(g, source, opts.delta, &C);
       ecc = r.eccentricity;
       farthest = r.farthest;
       out.stats += r.stats;

@@ -11,9 +11,9 @@
 // Two SSSP kernels serve the sweep: sequential Dijkstra (the default, the
 // paper's methodology verbatim) and parallel Δ-stepping. Both are exact, so
 // they visit the same source sequence and return the same bound; Δ-stepping
-// sweeps share one DeltaSteppingContext, which means one SplitCsr presplit
-// and one RoundBuffers pool across every equal-Δ repetition instead of
-// re-presplitting and re-allocating per source (DESIGN.md §7).
+// sweeps share one exec::Context, which means one SplitCsr presplit and one
+// RoundBuffers pool across every equal-Δ repetition instead of
+// re-presplitting and re-allocating per source (DESIGN.md §7–8).
 
 #include <cstdint>
 #include <vector>
@@ -54,9 +54,12 @@ struct SweepResult {
 
 /// Runs up to `opts.max_sweeps` SSSP sweeps starting from `opts.seed_node`
 /// (kInvalidNode = pseudo-random node derived from `opts.seed`). Stops early
-/// when the frontier node repeats (a 2-cycle of farthest pairs).
+/// when the frontier node repeats (a 2-cycle of farthest pairs). A non-null
+/// `ctx` is used by the Δ-stepping kernel's cross-sweep pooling (a local one
+/// serves otherwise; results are identical either way).
 [[nodiscard]] SweepResult diameter_lower_bound(const Graph& g,
-                                               const SweepOptions& opts);
+                                               const SweepOptions& opts,
+                                               exec::Context* ctx = nullptr);
 
 /// Dijkstra-kernel convenience overload (the original API).
 [[nodiscard]] SweepResult diameter_lower_bound(const Graph& g,

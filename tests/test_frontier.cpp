@@ -15,6 +15,7 @@
 #include "core/cluster.hpp"
 #include "core/growing.hpp"
 #include "graph/builder.hpp"
+#include "exec/context.hpp"
 #include "sssp/delta_stepping.hpp"
 #include "sssp/sweep.hpp"
 #include "test_helpers.hpp"
@@ -93,6 +94,44 @@ TEST(Frontier, AdaptiveSwitchesSparseDenseSparse) {
   EXPECT_EQ(f.collect_mode(), FrontierMode::kSparse);
   EXPECT_TRUE(f.contains(5));
   EXPECT_FALSE(f.contains(40));
+}
+
+TEST(Frontier, HysteresisKeepsDenseInsideTheBand) {
+  FrontierOptions o;
+  o.dense_fraction = 0.2;    // up at >20 of 100
+  o.sparse_fraction = 0.05;  // down at <=5 of 100
+  Frontier f(100, o);
+  for (NodeId v = 0; v < 30; ++v) f.insert(v);
+  f.advance();  // sealed 30 > 20 → dense
+  EXPECT_EQ(f.collect_mode(), FrontierMode::kDense);
+  for (NodeId v = 0; v < 10; ++v) f.insert(v);
+  f.advance();  // sealed 10: inside the (5, 20] band → stays dense
+  EXPECT_EQ(f.collect_mode(), FrontierMode::kDense);
+  for (NodeId v = 0; v < 10; ++v) f.insert(v);
+  f.advance();  // still inside the band: no thrash back and forth
+  EXPECT_EQ(f.collect_mode(), FrontierMode::kDense);
+  for (NodeId v = 0; v < 4; ++v) f.insert(v);
+  f.advance();  // sealed 4 <= 5 → back to sparse
+  EXPECT_EQ(f.collect_mode(), FrontierMode::kSparse);
+  for (NodeId v = 0; v < 10; ++v) f.insert(v);
+  f.advance();  // sealed 10 ≤ 20: sparse side of the band keeps sparse
+  EXPECT_EQ(f.collect_mode(), FrontierMode::kSparse);
+}
+
+TEST(Frontier, HysteresisBandNeverInverts) {
+  FrontierOptions o;
+  o.dense_fraction = 0.1;
+  o.sparse_fraction = 0.5;  // misconfigured: down above up
+  Frontier f(100, o);
+  // sparse_threshold() clamps to dense_threshold(): the switch degenerates
+  // to the single-threshold policy instead of oscillating.
+  EXPECT_EQ(f.sparse_threshold(), f.dense_threshold());
+  for (NodeId v = 0; v < 50; ++v) f.insert(v);
+  f.advance();
+  EXPECT_EQ(f.collect_mode(), FrontierMode::kDense);
+  f.insert(0);
+  f.advance();  // sealed 1 <= clamped threshold → sparse
+  EXPECT_EQ(f.collect_mode(), FrontierMode::kSparse);
 }
 
 TEST(Frontier, ContainsStableWhileDenseRoundCollects) {
@@ -251,10 +290,10 @@ TEST(DeltaFrontierParity, SingleVertexAndEdgelessGraphs) {
 // Context reuse: pooled RoundBuffers and cached SplitCsr across runs must
 // not leak state between sources, graphs, deltas or shard counts.
 
-TEST(DeltaSteppingContext, ReuseAcrossSourcesAndGraphsMatchesFresh) {
+TEST(ExecContextPooling, ReuseAcrossSourcesAndGraphsMatchesFresh) {
   const Graph g1 = test::make_family(Family::kGnmUniform, 150, 7);
   const Graph g2 = test::make_family(Family::kMeshUniform, 150, 9);
-  sssp::DeltaSteppingContext ctx;
+  exec::Context ctx;
   sssp::DeltaSteppingOptions opts;
   for (const Graph* g : {&g1, &g2, &g1}) {
     for (const NodeId source : {NodeId{0}, NodeId{5}, NodeId{17}}) {
@@ -267,9 +306,9 @@ TEST(DeltaSteppingContext, ReuseAcrossSourcesAndGraphsMatchesFresh) {
   }
 }
 
-TEST(DeltaSteppingContext, ReuseAcrossDeltasAndPartitions) {
+TEST(ExecContextPooling, ReuseAcrossDeltasAndPartitions) {
   const Graph g = test::make_family(Family::kRmatGiant, 200, 11);
-  sssp::DeltaSteppingContext ctx;
+  exec::Context ctx;
   for (const double mult : {1.0, 4.0, 1.0}) {
     for (const std::uint32_t k : {1u, 3u}) {
       sssp::DeltaSteppingOptions opts;

@@ -28,11 +28,37 @@ import sys
 
 
 def load(path):
+    """Reads one BENCH_*.json document, exiting with a one-line diagnostic
+    (never a traceback) when the file is missing, unreadable, not JSON, or
+    JSON of the wrong shape — a missing baseline is an expected state on a
+    fresh checkout, not a crash."""
     try:
         with open(path, "r", encoding="utf-8") as f:
-            return json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
+            doc = json.load(f)
+    except FileNotFoundError:
+        sys.exit(
+            f"bench_diff: baseline/candidate file not found: {path}\n"
+            "  (run the bench to produce it, e.g. ./bench_micro_kernels, or "
+            "commit a baseline under bench/baseline/)"
+        )
+    except OSError as e:
         sys.exit(f"bench_diff: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench_diff: {path} is not valid JSON: {e}")
+    if not isinstance(doc, dict):
+        sys.exit(
+            f"bench_diff: {path}: expected a JSON object with a 'rows' "
+            f"array, got {type(doc).__name__}"
+        )
+    rows = doc.get("rows", [])
+    if not isinstance(rows, list) or any(
+        not isinstance(row, dict) for row in rows
+    ):
+        sys.exit(
+            f"bench_diff: {path}: 'rows' must be an array of objects "
+            "(one per benchmark run)"
+        )
+    return doc
 
 
 def numeric_fields(doc):
@@ -48,7 +74,9 @@ def rows_by_name(doc, field):
     for row in doc.get("rows", []):
         name = row.get("name")
         value = row.get(field)
-        if name is None or not isinstance(value, (int, float)):
+        if not isinstance(name, str) or not isinstance(value, (int, float)):
+            continue
+        if isinstance(value, bool):
             continue
         out[name] = float(value)
     return out
