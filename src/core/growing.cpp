@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <span>
 
 #include "exec/context.hpp"
 
@@ -18,10 +19,23 @@ GrowingEngine::GrowingEngine(const Graph& g, GrowingPolicy policy,
       owned_partition_ = std::make_unique<mr::Partition>(g_, popts_);
       partition_ = owned_partition_.get();
     }
-    bsp_ = std::make_unique<mr::BspEngine>(*partition_);
+    transport_ =
+        mr::Launcher::make_transport(topts_, partition_->num_partitions());
+    bsp_ = std::make_unique<mr::BspEngine>(*partition_, transport_.get());
     exchange_.resize(partition_->num_partitions());
   }
   reset();
+}
+
+void GrowingEngine::set_transport_options(const mr::TransportOptions& opts) {
+  if (policy_ != GrowingPolicy::kPartitioned || opts == topts_) {
+    topts_ = opts;
+    return;
+  }
+  topts_ = opts;
+  transport_ =
+      mr::Launcher::make_transport(topts_, partition_->num_partitions());
+  bsp_ = std::make_unique<mr::BspEngine>(*partition_, transport_.get());
 }
 
 void GrowingEngine::reset() {
@@ -466,13 +480,18 @@ GrowingStepResult GrowingEngine::step_partitioned(
   GrowingStepResult out;
   const NodeId n = g_.num_nodes();
   const std::uint32_t k = partition_->num_partitions();
+  // Remote transport: compute runs in forked workers, so its owned-scratch
+  // folds are staged as loopback records and replayed by apply instead
+  // (DESIGN.md §9) — the min over the same proposal set, in the same order.
+  const bool remote = bsp_->remote_compute();
 
   // Step-start snapshot; shards fold proposals into scratch_ below.
 #pragma omp parallel for schedule(static, 4096)
   for (NodeId v = 0; v < n; ++v) scratch_[v] = labels_[v];
 
   // Per-shard counters, summed after the superstep (single-writer slots,
-  // like the exchange's mailbox rows).
+  // like the exchange's mailbox rows; shard_messages doubles as the
+  // transport's shipped counter slab, so compute tallies survive workers).
   std::vector<std::uint64_t> shard_messages(k, 0);
   std::vector<std::uint64_t> shard_updates(k, 0);
   std::vector<std::uint64_t> shard_newly(k, 0);
@@ -506,9 +525,13 @@ GrowingStepResult GrowingEngine::step_partitioned(
         ++messages;
         const PackedLabel cand = pack_label(static_cast<float>(nb), c);
         if (!sh.is_ghost(tl)) {
-          // Shard-internal proposal: fold immediately (only this shard's
-          // thread writes scratch slots of nodes it owns).
-          scratch_[v] = std::min(scratch_[v], cand);
+          if (remote) {
+            ex.loopback(sh.id, LabelProposal{tl, cand});
+          } else {
+            // Shard-internal proposal: fold immediately (only this shard's
+            // thread writes scratch slots of nodes it owns).
+            scratch_[v] = std::min(scratch_[v], cand);
+          }
         } else {
           ex.send(sh.id, sh.ghost_owner[tl - sh.num_owned],
                   LabelProposal{partition_->local_id(v), cand});
@@ -540,8 +563,9 @@ GrowingStepResult GrowingEngine::step_partitioned(
     shard_newly[sh.id] = newly;
   };
 
-  const mr::ExchangeCounters traffic =
-      bsp_->superstep(exchange_, compute, apply);
+  const mr::ExchangeCounters traffic = bsp_->superstep(
+      exchange_, compute, apply, nullptr,
+      std::span<std::uint64_t>(shard_messages.data(), shard_messages.size()));
 
   labels_.swap(scratch_);
   changed_.swap(next_changed_);
@@ -552,6 +576,8 @@ GrowingStepResult GrowingEngine::step_partitioned(
   }
   out.cross_messages = traffic.cross_messages;
   out.cross_bytes = traffic.cross_bytes;
+  out.wire_messages = traffic.wire_messages;
+  out.wire_bytes = traffic.wire_bytes;
   return out;
 }
 
@@ -569,11 +595,18 @@ GrowingStepResult GrowingEngine::step_partitioned_adaptive(
   const std::uint32_t k = partition_->num_partitions();
   const bool dense = afrontier_.collect_mode() == FrontierMode::kDense;
   (dense ? out.dense_rounds : out.sparse_rounds) = 1;
+  // Remote transport: compute's lazy scratch folds become loopback records
+  // replayed by apply, which already does the identical touch-stamp fold for
+  // routed proposals (DESIGN.md §9).
+  const bool remote = bsp_->remote_compute();
 
   if (++touch_round_ == 0) {  // stamp generation wraparound: rebase
     std::fill(touch_stamp_.begin(), touch_stamp_.end(), 0);
     touch_round_ = 1;
   }
+  // Cleared before — not inside — compute: a remote compute's clear would
+  // happen in the worker and leave the coordinator's lists stale for apply.
+  for (auto& touched : shard_touched_) touched.clear();
 
   std::vector<std::uint64_t> shard_messages(k, 0);
   std::vector<std::uint64_t> shard_updates(k, 0);
@@ -585,7 +618,6 @@ GrowingStepResult GrowingEngine::step_partitioned_adaptive(
     const NodeId* tgt = presplit_ ? ss->targets.data() : sh.targets.data();
     const Weight* wt = presplit_ ? ss->weights.data() : sh.weights.data();
     auto& touched = shard_touched_[sh.id];
-    touched.clear();
 
     // Owned-target proposal with lazy scratch initialization.
     auto propose = [&](NodeId v, PackedLabel cand) {
@@ -616,7 +648,11 @@ GrowingStepResult GrowingEngine::step_partitioned_adaptive(
         ++messages;
         const PackedLabel cand = pack_label(static_cast<float>(nb), c);
         if (!sh.is_ghost(tl)) {
-          propose(v, cand);
+          if (remote) {
+            ex.loopback(sh.id, LabelProposal{tl, cand});
+          } else {
+            propose(v, cand);
+          }
         } else {
           ex.send(sh.id, sh.ghost_owner[tl - sh.num_owned],
                   LabelProposal{partition_->local_id(v), cand});
@@ -667,8 +703,9 @@ GrowingStepResult GrowingEngine::step_partitioned_adaptive(
     shard_newly[sh.id] = newly;
   };
 
-  const mr::ExchangeCounters traffic =
-      bsp_->superstep(exchange_, compute, apply);
+  const mr::ExchangeCounters traffic = bsp_->superstep(
+      exchange_, compute, apply, nullptr,
+      std::span<std::uint64_t>(shard_messages.data(), shard_messages.size()));
 
   shard_active_.swap(shard_active_next_);
   afrontier_.advance();
@@ -679,6 +716,8 @@ GrowingStepResult GrowingEngine::step_partitioned_adaptive(
   }
   out.cross_messages = traffic.cross_messages;
   out.cross_bytes = traffic.cross_bytes;
+  out.wire_messages = traffic.wire_messages;
+  out.wire_bytes = traffic.wire_bytes;
   return out;
 }
 

@@ -89,6 +89,10 @@ struct GrowingStepResult {
   /// (kPartitioned only; a subset of `messages`, zero for K = 1).
   std::uint64_t cross_messages = 0;
   std::uint64_t cross_bytes = 0;
+  /// Records/bytes that crossed a *process* boundary (kPartitioned under
+  /// TransportKind::kProcess only; see mr/transport.hpp).
+  std::uint64_t wire_messages = 0;
+  std::uint64_t wire_bytes = 0;
   /// Round classification under the adaptive frontier engine
   /// (core/frontier.hpp): exactly one of the two is 1 per adaptive step,
   /// both 0 on the adaptive=false baseline. run() folds them into the
@@ -177,6 +181,18 @@ class GrowingEngine {
   }
   [[nodiscard]] bool adaptive() const noexcept { return fopts_.adaptive; }
 
+  /// Selects the transport the kPartitioned supersteps run on
+  /// (mr/transport.hpp): in-process threads (the default) or forked worker
+  /// processes. Labels and all model-level counters are bit-identical either
+  /// way (tests/test_transport.cpp); only the wire counters — and the wall
+  /// clock — move. No-op for kPush/kPull and when the options are unchanged,
+  /// so pooled engines (exec::Context) can be reconfigured per run.
+  void set_transport_options(const mr::TransportOptions& opts);
+  [[nodiscard]] const mr::TransportOptions& transport_options()
+      const noexcept {
+    return topts_;
+  }
+
   /// Aggregate outcome of a run of Δ-growing steps.
   struct RunResult {
     GrowingStepResult totals;
@@ -203,6 +219,8 @@ class GrowingEngine {
       stats.node_updates += r.updates;
       stats.cross_messages += r.cross_messages;
       stats.cross_bytes += r.cross_bytes;
+      stats.wire_messages += r.wire_messages;
+      stats.wire_bytes += r.wire_bytes;
       stats.sparse_rounds += r.sparse_rounds;
       stats.dense_rounds += r.dense_rounds;
       out.totals.messages += r.messages;
@@ -210,6 +228,8 @@ class GrowingEngine {
       out.totals.newly_labeled += r.newly_labeled;
       out.totals.cross_messages += r.cross_messages;
       out.totals.cross_bytes += r.cross_bytes;
+      out.totals.wire_messages += r.wire_messages;
+      out.totals.wire_bytes += r.wire_bytes;
       out.totals.sparse_rounds += r.sparse_rounds;
       out.totals.dense_rounds += r.dense_rounds;
       if (r.updates == 0) {
@@ -268,6 +288,8 @@ class GrowingEngine {
   // owned_partition_ or the exec::Context's cached layout (ctx_ != nullptr)
   std::unique_ptr<mr::Partition> owned_partition_;
   const mr::Partition* partition_ = nullptr;
+  mr::TransportOptions topts_;
+  std::unique_ptr<mr::Transport> transport_;
   std::unique_ptr<mr::BspEngine> bsp_;
   mr::Exchange<LabelProposal> exchange_;
   // adaptive frontier engine state (fopts_.adaptive, the default)

@@ -44,6 +44,7 @@ class PartialGrowthDriver {
         uncovered_(g.num_nodes()) {
     engine_.set_presplit(opts.presplit);
     engine_.set_frontier_options(opts.frontier);
+    engine_.set_transport_options(opts.transport);
     engine_.reset();
     out_.center_of.assign(g.num_nodes(), kInvalidNode);
     out_.dist_to_center.assign(g.num_nodes(), kInfiniteWeight);

@@ -13,6 +13,7 @@
 
 #include "core/frontier.hpp"
 #include "mr/partition.hpp"
+#include "mr/transport.hpp"
 
 namespace gdiam::exec {
 
@@ -28,6 +29,12 @@ struct ExecOptions {
   /// Shard layout for the partitioned BSP backends; num_partitions <= 1
   /// selects the flat shared-memory kernels.
   mr::PartitionOptions partition;
+  /// Where the BSP compute phases run and how staged messages travel
+  /// (mr/transport.hpp, DESIGN.md §9): kLocal is the in-process default,
+  /// kProcess fans each superstep out over `processes` forked workers —
+  /// bit-identical results, with RoundStats additionally reporting the
+  /// genuinely-crossed wire bytes. Only the partitioned backends read it.
+  mr::TransportOptions transport;
   /// Δ-presplit adjacency (graph/split_csr.hpp): iterate exactly the edge
   /// class a phase needs, no per-edge weight branch. `false` keeps the
   /// branch-filter loops — bit-identical, the A/B baseline.

@@ -3,12 +3,15 @@
 //
 // One superstep is exactly one round in the paper's MR(M_T, M_L) model:
 //
-//   1. local compute — every shard, in parallel, reads/writes only its own
-//      state and stages messages for other shards in an Exchange;
+//   1. local compute — every shard reads/writes only its own state and
+//      stages messages for other shards in an Exchange. *Where* this phase
+//      runs is the Transport's business (mr/transport.hpp): LocalTransport
+//      uses one OpenMP thread per shard, ProcessTransport forks worker
+//      processes and ships the staged rows back over sockets;
 //   2. exchange      — the barrier: Exchange::seal() delivers all mailboxes
 //      in deterministic order and tallies the traffic;
 //   3. apply         — every shard, in parallel, folds its inbox into its
-//      local state.
+//      local state (always in the coordinating process).
 //
 // The engine is the execution substrate the flat OpenMP kernels stand in for
 // (DESIGN.md §5): the same relaxation logic, but with the communication that
@@ -17,13 +20,15 @@
 // and apply callbacks; the engine supplies parallelism, the barrier, round
 // counting, and RoundStats traffic recording.
 //
-// Determinism: a shard's compute runs on exactly one thread (the OpenMP loop
-// is over shards), so mailbox rows are single-writer; seal() orders delivery
-// by source shard; apply is again one thread per shard. The outcome is a
-// pure function of shard states and staging order — independent of thread
-// count and scheduling.
+// Determinism: a shard's compute runs on exactly one thread (or one worker
+// process), so mailbox rows are single-writer; seal() orders delivery by
+// source shard (loopback records first — see mr/exchange.hpp); apply is
+// again one thread per shard. The outcome is a pure function of shard states
+// and staging order — independent of thread count, process count and
+// scheduling (DESIGN.md §9 spells out the contract per transport).
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include <omp.h>
@@ -31,16 +36,31 @@
 #include "mr/exchange.hpp"
 #include "mr/partition.hpp"
 #include "mr/stats.hpp"
+#include "mr/transport.hpp"
 
 namespace gdiam::mr {
 
 class BspEngine {
  public:
-  /// The partition must outlive the engine (same contract as Graph&).
-  explicit BspEngine(const Partition& partition) : partition_(partition) {}
+  /// The partition — and the transport, when given — must outlive the
+  /// engine (same contract as Graph&). A null transport selects the built-in
+  /// LocalTransport: PR 1's in-process path, verbatim.
+  explicit BspEngine(const Partition& partition,
+                     Transport* transport = nullptr)
+      : partition_(partition),
+        transport_(transport != nullptr ? transport : &local_) {}
 
   [[nodiscard]] const Partition& partition() const noexcept {
     return partition_;
+  }
+
+  [[nodiscard]] Transport& transport() const noexcept { return *transport_; }
+
+  /// True when compute callbacks run in a worker process: their writes to
+  /// coordinator state are lost, so algorithms must stage owned-state
+  /// effects via Exchange::loopback and counters via `shard_counters`.
+  [[nodiscard]] bool remote_compute() const noexcept {
+    return transport_->remote_compute();
   }
 
   /// Supersteps executed so far (each is one synchronous round).
@@ -54,19 +74,35 @@ class BspEngine {
   /// Returns the exchange traffic; when `stats` is non-null, records the
   /// cross-partition volume into it (rounds are charged by the caller, which
   /// knows whether the step was a relaxation or an auxiliary phase).
+  /// `shard_counters` (empty or one slot per shard, slot s written only by
+  /// shard s's compute) travels with the messages under a remote transport,
+  /// so per-shard compute tallies survive the process boundary.
   template <typename Msg, typename ComputeFn, typename ApplyFn>
   ExchangeCounters superstep(Exchange<Msg>& ex, ComputeFn&& compute,
-                             ApplyFn&& apply, RoundStats* stats = nullptr) {
+                             ApplyFn&& apply, RoundStats* stats = nullptr,
+                             std::span<std::uint64_t> shard_counters = {}) {
     const auto k = static_cast<std::int64_t>(partition_.num_partitions());
 
-    // Phase 1: local compute, one thread per shard (single-writer mailboxes).
-#pragma omp parallel for schedule(dynamic, 1)
-    for (std::int64_t s = 0; s < k; ++s) {
-      compute(partition_.shard(static_cast<ShardId>(s)), ex);
-    }
+    // Phase 1: local compute, one thread or worker process per shard
+    // (single-writer mailboxes either way). The transport guarantees that
+    // afterwards `ex` holds every staged row in this process.
+    Transport::SuperstepPlan plan;
+    plan.num_shards = partition_.num_partitions();
+    plan.compute = [&](ShardId s) { compute(partition_.shard(s), ex); };
+    plan.encode_row = [&ex](ShardId s, std::vector<std::byte>& out) {
+      ex.encode_row(s, out);
+    };
+    plan.decode_row = [&ex](ShardId s, const std::byte* data,
+                            std::size_t len) {
+      return ex.decode_row(s, data, len);
+    };
+    plan.shard_counters = shard_counters;
+    const TransportStats wire = transport_->run_compute(plan);
 
     // Phase 2: the barrier — deterministic delivery + traffic accounting.
-    const ExchangeCounters counters = ex.seal();
+    ExchangeCounters counters = ex.seal();
+    counters.wire_messages = wire.wire_messages;
+    counters.wire_bytes = wire.wire_bytes;
     if (stats != nullptr) record_exchange(*stats, counters);
 
     // Phase 3: fold inboxes, again one thread per shard.
@@ -83,6 +119,8 @@ class BspEngine {
 
  private:
   const Partition& partition_;
+  LocalTransport local_;  // default when no transport is injected
+  Transport* transport_;
   std::uint64_t supersteps_ = 0;
 };
 

@@ -36,6 +36,14 @@ struct RoundStats {
   std::uint64_t cross_messages = 0;
   /// Serialized payload bytes of those cross-partition messages.
   std::uint64_t cross_bytes = 0;
+  /// Records and bytes that genuinely crossed a *process* boundary — filled
+  /// only when a remote transport (mr/transport.hpp, ProcessTransport) ran
+  /// the compute phases; always 0 under LocalTransport, where an exchange is
+  /// a memory move. Unlike the cross counters these are transport-dependent
+  /// by design (they include the loopback stand-ins for owned-state writes
+  /// plus framing), so parity suites zero them before comparing.
+  std::uint64_t wire_messages = 0;
+  std::uint64_t wire_bytes = 0;
   /// Relaxation rounds whose frontier was collected in the sparse
   /// (thread-local queue) vs dense (bitmap) representation of the adaptive
   /// frontier engine (core/frontier.hpp). Observability counters for the
@@ -61,6 +69,8 @@ struct RoundStats {
     node_updates += other.node_updates;
     cross_messages += other.cross_messages;
     cross_bytes += other.cross_bytes;
+    wire_messages += other.wire_messages;
+    wire_bytes += other.wire_bytes;
     sparse_rounds += other.sparse_rounds;
     dense_rounds += other.dense_rounds;
     return *this;
@@ -75,9 +85,10 @@ struct RoundStats {
 };
 
 /// "rounds=74 messages=4.2e+08 updates=1.1e+07 work=4.3e+08
-///  cross=1.0e+06msg/1.6e+07B modes=61S/13D" — for logs; the cross part
-/// appears only when a partitioned backend recorded traffic, the modes part
-/// only when the adaptive frontier engine classified rounds.
+///  cross=1.0e+06msg/1.6e+07B wire=2.0e+06msg/3.1e+07B modes=61S/13D" — for
+/// logs; the cross part appears only when a partitioned backend recorded
+/// traffic, the wire part only when a multi-process transport ran, the modes
+/// part only when the adaptive frontier engine classified rounds.
 [[nodiscard]] std::string to_string(const RoundStats& s);
 
 }  // namespace gdiam::mr

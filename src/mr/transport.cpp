@@ -1,0 +1,244 @@
+#include "mr/transport.hpp"
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <omp.h>
+
+namespace gdiam::mr {
+
+namespace {
+
+/// Errors are thrown bare; run_compute catches them, finishes cleanup
+/// (close fds, reap children) and rethrows with the ProcessTransport prefix.
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// write(2) until `len` bytes are on the socket (partial writes + EINTR).
+bool write_all(int fd, const void* data, std::size_t len) noexcept {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads the socket to EOF (the worker closes its end after the last frame).
+std::vector<std::byte> read_to_eof(int fd) {
+  std::vector<std::byte> out;
+  std::byte buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read from worker");
+    }
+    if (n == 0) return out;
+    out.insert(out.end(), buf, buf + n);
+  }
+}
+
+void append_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof v);
+}
+
+/// Cursor over a worker's byte stream; a short stream means the worker died
+/// mid-write and is reported as a transport error, never as silent data.
+struct Reader {
+  const std::byte* p;
+  const std::byte* end;
+
+  std::uint64_t u64() {
+    if (end - p < static_cast<std::ptrdiff_t>(sizeof(std::uint64_t))) {
+      throw std::runtime_error("truncated worker stream");
+    }
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof v);
+    p += sizeof v;
+    return v;
+  }
+  const std::byte* bytes(std::uint64_t len) {
+    // Unsigned compare: a corrupt length with the top bit set must trip the
+    // check, not wrap a signed cast past it (end >= p by construction).
+    if (static_cast<std::uint64_t>(end - p) < len) {
+      throw std::runtime_error("truncated worker stream");
+    }
+    const std::byte* at = p;
+    p += len;
+    return at;
+  }
+};
+
+}  // namespace
+
+Launcher::Launcher(std::uint32_t num_shards, std::uint32_t processes)
+    : k_(std::max(1u, num_shards)), p_(std::max(1u, processes)) {
+  if (p_ > k_) p_ = k_;  // a worker with zero shards would be pure overhead
+}
+
+std::pair<ShardId, ShardId> Launcher::group(std::uint32_t p) const {
+  // Ceil-balanced contiguous ranges: the first (k mod p) groups are one
+  // shard larger. Pure function of (K, P) — part of the determinism story.
+  const std::uint32_t base = k_ / p_;
+  const std::uint32_t extra = k_ % p_;
+  const std::uint32_t first = p * base + std::min(p, extra);
+  const std::uint32_t size = base + (p < extra ? 1 : 0);
+  return {first, first + size};
+}
+
+std::uint32_t Launcher::process_of(ShardId s) const {
+  const std::uint32_t base = k_ / p_;
+  const std::uint32_t extra = k_ % p_;
+  const std::uint32_t boundary = extra * (base + 1);  // end of the big groups
+  if (s < boundary) return s / (base + 1);
+  return extra + (s - boundary) / base;
+}
+
+std::unique_ptr<Transport> Launcher::make_transport(
+    const TransportOptions& opts, std::uint32_t num_shards) {
+  if (opts.kind == TransportKind::kProcess) {
+    return std::make_unique<ProcessTransport>(
+        Launcher(num_shards, opts.processes));
+  }
+  return std::make_unique<LocalTransport>();
+}
+
+TransportStats LocalTransport::run_compute(const SuperstepPlan& plan) {
+  const auto k = static_cast<std::int64_t>(plan.num_shards);
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t s = 0; s < k; ++s) {
+    plan.compute(static_cast<ShardId>(s));
+  }
+  return {};  // nothing crossed a process boundary
+}
+
+TransportStats ProcessTransport::run_compute(const SuperstepPlan& plan) {
+  TransportStats out;
+  const std::uint32_t procs = launcher_.processes();
+  std::vector<int> rx(procs, -1);
+  std::vector<pid_t> pids(procs, -1);
+  // First failure anywhere; recorded, not thrown, until every spawned
+  // worker is drained/closed and reaped — a mid-spawn fork failure must not
+  // leak the earlier workers' fds or leave them blocked and unreaped.
+  std::string error;
+
+  // Phase A: fork one worker per group. The child inherits a copy-on-write
+  // snapshot of the whole coordinator — exactly the step-start state the BSP
+  // contract lets compute read — runs its shards sequentially (the P workers
+  // are the parallelism; OpenMP regions are not safe in a forked child),
+  // streams its frames, and _exits without touching shared stdio/atexit
+  // state. Wire format, per shard in group order:
+  //   [u64 row_len][row bytes from encode_row][u64 shard counter]
+  for (std::uint32_t p = 0; p < procs && error.empty(); ++p) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      error = std::string("socketpair: ") + std::strerror(errno);
+      break;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      error = std::string("fork: ") + std::strerror(errno);
+      ::close(fds[0]);
+      ::close(fds[1]);
+      break;
+    }
+    if (pid == 0) {
+      // Worker. fd hygiene: drop the read end and every earlier worker's
+      // inherited read end (harmless for EOF semantics, but tidy).
+      ::close(fds[0]);
+      for (std::uint32_t q = 0; q < p; ++q) ::close(rx[q]);
+      int status = 0;
+      try {
+        const auto [first, last] = launcher_.group(p);
+        for (ShardId s = first; s < last; ++s) plan.compute(s);
+        std::vector<std::byte> frames;
+        std::vector<std::byte> row;
+        for (ShardId s = first; s < last; ++s) {
+          row.clear();
+          plan.encode_row(s, row);
+          append_u64(frames, row.size());
+          frames.insert(frames.end(), row.begin(), row.end());
+          append_u64(frames, plan.shard_counters.empty()
+                                 ? 0
+                                 : plan.shard_counters[s]);
+        }
+        if (!write_all(fds[1], frames.data(), frames.size())) status = 3;
+      } catch (...) {
+        status = 2;  // compute threw; the coordinator turns this into one
+      }                // "worker failed" error after reaping
+      ::close(fds[1]);
+      ::_exit(status);
+    }
+    ::close(fds[1]);  // coordinator keeps only the read end
+    rx[p] = fds[0];
+    pids[p] = pid;
+  }
+
+  // Phase B: collect every spawned worker's stream and reassemble rows *by
+  // shard id*, so delivery order is independent of process scheduling. Once
+  // an error is recorded, remaining streams are not decoded — closing the
+  // read end unblocks (and terminates, via SIGPIPE/EPIPE) a writer that
+  // nobody will read — but every fd is closed and every child reaped before
+  // the one error is finally thrown.
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    if (rx[p] < 0) continue;  // never spawned (mid-spawn failure)
+    if (error.empty()) {
+      try {
+        const std::vector<std::byte> stream = read_to_eof(rx[p]);
+        out.wire_bytes += stream.size();
+        Reader r{stream.data(), stream.data() + stream.size()};
+        const auto [first, last] = launcher_.group(p);
+        for (ShardId s = first; s < last; ++s) {
+          const std::uint64_t row_len = r.u64();
+          out.wire_messages += plan.decode_row(s, r.bytes(row_len), row_len);
+          const std::uint64_t counter = r.u64();
+          if (!plan.shard_counters.empty()) plan.shard_counters[s] = counter;
+        }
+      } catch (const std::exception& e) {
+        error = e.what();
+      }
+    }
+    ::close(rx[p]);
+  }
+  std::string worker_error;
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    if (pids[p] < 0) continue;
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(pids[p], &status, 0);
+    } while (r < 0 && errno == EINTR);
+    if (worker_error.empty() &&
+        (r < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0)) {
+      const char* why =
+          r >= 0 && WIFEXITED(status) && WEXITSTATUS(status) == 2
+              ? "compute threw in worker "
+          : r >= 0 && WIFEXITED(status) && WEXITSTATUS(status) == 3
+              ? "socket write failed in worker "
+              : "worker died: worker ";
+      worker_error = why + std::to_string(p);
+    }
+  }
+  // A dead worker explains a truncated/short stream, never the other way
+  // around — report the root cause, not the symptom the reader saw first.
+  if (!worker_error.empty()) error = worker_error;
+  if (!error.empty()) throw std::runtime_error("ProcessTransport: " + error);
+  return out;
+}
+
+}  // namespace gdiam::mr

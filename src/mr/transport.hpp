@@ -1,0 +1,170 @@
+#pragma once
+// Pluggable compute/shuffle transport for the BSP engine (DESIGN.md §9).
+//
+// PRs 1–4 built the seam this file fills: the Exchange is "the only point a
+// network transport needs to replace". A Transport owns exactly the part of
+// a superstep that depends on *where* shard compute runs and *how* staged
+// messages reach the coordinating process:
+//
+//   run_compute(plan) — executes the algorithm's compute callback for every
+//   shard and guarantees that afterwards the coordinator's Exchange holds
+//   every staged row (and every per-shard user counter), so the engine can
+//   seal and apply exactly as before. Everything downstream of run_compute —
+//   deterministic delivery order, traffic tallying, the apply phase — is
+//   transport-invariant, which is what makes the backends bit-identical.
+//
+// Two implementations:
+//
+//   * LocalTransport — today's path: one OpenMP thread per shard, staging
+//     rows are already in the coordinator's memory, nothing is serialized.
+//     wire counters stay 0 (a "message" is a cache-line write).
+//
+//   * ProcessTransport — each superstep forks one worker per process group
+//     (Launcher maps K shards onto P workers in contiguous, ceil-balanced
+//     groups), runs the group's shard computes in the child, and ships the
+//     staged rows + user counters back over an AF_UNIX stream socketpair.
+//     The fork gives every worker a copy-on-write snapshot of the
+//     coordinator's entire state at superstep start — the OS-enforced
+//     version of the BSP contract that compute reads only step-start state.
+//     Because the child's writes are invisible to the coordinator, compute
+//     must route *all* of its effects through the exchange: under
+//     remote_compute() the algorithms replace their direct owned-state
+//     writes with Exchange::loopback() records and their direct counter
+//     writes with the plan's shard_counters slots. Bytes read back from the
+//     workers are the genuinely-crossed `wire_bytes` that feed RoundStats.
+//
+// Determinism contract (DESIGN.md §9): delivery is a pure function of
+// (source shard, staging order). The transport only moves rows between
+// address spaces keyed by shard id — it never reorders within a row and the
+// coordinator reassembles rows by shard id, not by arrival time — so the
+// sealed inboxes are identical under every transport and every P.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mr/partition.hpp"
+
+namespace gdiam::mr {
+
+enum class TransportKind { kLocal, kProcess };
+
+/// Transport selection knobs, carried by exec::ExecOptions so one assignment
+/// configures a whole pipeline (`--transport process --processes P` in the
+/// CLI). `processes` is clamped to the shard count by the Launcher.
+struct TransportOptions {
+  TransportKind kind = TransportKind::kLocal;
+  std::uint32_t processes = 1;
+
+  friend bool operator==(const TransportOptions&,
+                         const TransportOptions&) = default;
+};
+
+/// What one run_compute actually put on a process boundary: 0/0 for
+/// LocalTransport; for ProcessTransport every staged record (including
+/// loopback stand-ins for owned-state writes) and every byte read back from
+/// the workers' sockets (row payloads + framing + counters).
+struct TransportStats {
+  std::uint64_t wire_messages = 0;
+  std::uint64_t wire_bytes = 0;
+};
+
+/// Maps K shards onto P worker processes: contiguous, ceil-balanced groups
+/// (the first K mod P groups take one extra shard). Contiguity keeps a range
+/// partition's locality within one worker; determinism needs only that the
+/// mapping is a pure function of (K, P).
+class Launcher {
+ public:
+  Launcher(std::uint32_t num_shards, std::uint32_t processes);
+
+  [[nodiscard]] std::uint32_t num_shards() const noexcept { return k_; }
+  [[nodiscard]] std::uint32_t processes() const noexcept { return p_; }
+
+  /// Shard range [first, second) owned by worker `p`.
+  [[nodiscard]] std::pair<ShardId, ShardId> group(std::uint32_t p) const;
+
+  /// The worker that runs shard `s`'s compute.
+  [[nodiscard]] std::uint32_t process_of(ShardId s) const;
+
+  /// Builds the transport `opts` selects for a K-shard engine.
+  [[nodiscard]] static std::unique_ptr<class Transport> make_transport(
+      const TransportOptions& opts, std::uint32_t num_shards);
+
+ private:
+  std::uint32_t k_ = 1;
+  std::uint32_t p_ = 1;
+};
+
+class Transport {
+ public:
+  /// The type-erased slice of one superstep the transport must execute. The
+  /// typed BspEngine builds one per superstep; the callbacks close over the
+  /// algorithm's Exchange<Msg>, so the transport never sees message types.
+  struct SuperstepPlan {
+    std::uint32_t num_shards = 0;
+    /// Runs the algorithm's compute for one shard, staging into the
+    /// exchange. Under a remote transport this executes in a worker process
+    /// whose writes to shared state are lost — the remote-compute contract.
+    std::function<void(ShardId)> compute;
+    /// Appends shard `s`'s staged row (loopback + routed records) to `out`
+    /// as self-contained bytes.
+    std::function<void(ShardId, std::vector<std::byte>&)> encode_row;
+    /// Replaces shard `s`'s staged row with decoded bytes; returns the
+    /// number of records decoded (the transport's wire_messages tally).
+    std::function<std::uint64_t(ShardId, const std::byte*, std::size_t)>
+        decode_row;
+    /// Optional per-shard user counter (size num_shards or empty): slot s is
+    /// written only by shard s's compute, and a remote transport ships it
+    /// back alongside the row (e.g. the relaxed-edge counts the algorithms
+    /// fold into RoundStats::messages).
+    std::span<std::uint64_t> shard_counters;
+  };
+
+  virtual ~Transport() = default;
+
+  /// True when compute callbacks run in another address space, so their
+  /// writes to coordinator state are lost: algorithms must route owned-state
+  /// effects through Exchange::loopback and counters through shard_counters.
+  [[nodiscard]] virtual bool remote_compute() const noexcept = 0;
+
+  /// Worker processes compute fans out over (1 for LocalTransport).
+  [[nodiscard]] virtual std::uint32_t processes() const noexcept = 0;
+
+  /// Executes the compute phase for every shard; on return the coordinator's
+  /// exchange holds every staged row and shard_counters its final values.
+  virtual TransportStats run_compute(const SuperstepPlan& plan) = 0;
+};
+
+/// In-process transport: one OpenMP thread per shard writes the single-writer
+/// staging rows directly — PR 1's lock-free phase 1, verbatim.
+class LocalTransport final : public Transport {
+ public:
+  [[nodiscard]] bool remote_compute() const noexcept override { return false; }
+  [[nodiscard]] std::uint32_t processes() const noexcept override { return 1; }
+  TransportStats run_compute(const SuperstepPlan& plan) override;
+};
+
+/// Multi-process transport: forks one worker per Launcher group each
+/// superstep and collects the groups' rows over AF_UNIX socketpairs. See the
+/// header comment for the COW-snapshot semantics and DESIGN.md §9 for the
+/// wire format.
+class ProcessTransport final : public Transport {
+ public:
+  explicit ProcessTransport(Launcher launcher) : launcher_(launcher) {}
+
+  [[nodiscard]] bool remote_compute() const noexcept override { return true; }
+  [[nodiscard]] std::uint32_t processes() const noexcept override {
+    return launcher_.processes();
+  }
+  [[nodiscard]] const Launcher& launcher() const noexcept { return launcher_; }
+  TransportStats run_compute(const SuperstepPlan& plan) override;
+
+ private:
+  Launcher launcher_;
+};
+
+}  // namespace gdiam::mr

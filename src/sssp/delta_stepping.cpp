@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <span>
 #include <stdexcept>
 
 #include "exec/context.hpp"
@@ -148,11 +149,16 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
   // Partitioned BSP backend (opts.partition.num_partitions > 1): relaxation
   // phases run as supersteps on K shards instead of one flat loop. The shard
   // layout is cached in the context, the staging scratch in RoundBuffers.
+  // The transport decides where the supersteps' compute runs (mr/transport
+  // .hpp): in-process threads, or opts.transport.processes forked workers.
   const mr::Partition* part = nullptr;
+  std::unique_ptr<mr::Transport> transport;
   std::unique_ptr<mr::BspEngine> bsp;
   if (opts.partition.num_partitions > 1 && n > 0) {
     part = &C.partition_for(g, opts.partition);
-    bsp = std::make_unique<mr::BspEngine>(*part);
+    transport =
+        mr::Launcher::make_transport(opts.transport, part->num_partitions());
+    bsp = std::make_unique<mr::BspEngine>(*part, transport.get());
     const std::uint32_t k = part->num_partitions();
     if (rb.exchange.num_partitions() != k) {
       rb.exchange.resize(k);
@@ -164,7 +170,13 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
     rb.shard_messages.assign(k, 0);
     rb.shard_updates.assign(k, 0);
     out.partitions_used = k;
+    out.processes_used = transport->processes();
   }
+  // Under a remote transport a shard's compute runs in a forked worker whose
+  // writes to dist_bits (and every other coordinator array) are lost: owned
+  // lowerings are staged as loopback records and replayed — in the identical
+  // order — by the apply phase (DESIGN.md §9).
+  const bool remote = bsp != nullptr && bsp->remote_compute();
 
   // Δ-presplit adjacency (graph/split_csr.hpp): one O(m) light-first reorder,
   // cached in the context so equal-Δ repetitions (sweeps) presplit once. The
@@ -301,7 +313,13 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
           const NodeId tl = tgt[i];
           const NodeId v = sh.global_of_local[tl];
           if (!sh.is_ghost(tl)) {
-            lower(sh.id, v, nd);
+            // tl is v's id within its owner shard (sh), so the record reads
+            // back through apply exactly like a routed proposal.
+            if (remote) {
+              ex.loopback(sh.id, DistProposal{tl, nd});
+            } else {
+              lower(sh.id, v, nd);
+            }
           } else {
             ex.send(sh.id, sh.ghost_owner[tl - sh.num_owned],
                     DistProposal{part->local_id(v), nd});
@@ -316,7 +334,8 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
         lower(sh.id, sh.global_of_local[m.target], m.bits);
       }
     };
-    bsp->superstep(rb.exchange, compute, apply, &out.stats);
+    bsp->superstep(rb.exchange, compute, apply, &out.stats,
+                   std::span<std::uint64_t>(rb.shard_messages.data(), k));
 
     for (std::uint32_t s = 0; s < k; ++s) {
       out.stats.messages += rb.shard_messages[s];

@@ -20,7 +20,10 @@
 // applied locally, cross-shard ones travel through the typed exchange, and
 // the stats additionally report the cross-partition messages/bytes a real
 // MR shuffle would pay. Distances are identical to the flat kernel (same
-// min-reduction fixpoint per phase).
+// min-reduction fixpoint per phase). With transport.kind == kProcess
+// (mr/transport.hpp) the supersteps' compute phases additionally fan out
+// over forked worker processes — still bit-identical, with the genuinely-
+// crossed wire bytes reported on top (DESIGN.md §9).
 //
 // Frontier maintenance (improved-node sets, settled-set dedup, bucket and
 // exchange scratch) runs on the adaptive sparse/dense engine and the
@@ -118,6 +121,9 @@ struct DeltaSteppingResult {
   std::uint64_t buckets_processed = 0;
   /// Shards the run executed on (1 = flat shared-memory kernel).
   std::uint32_t partitions_used = 1;
+  /// Worker processes the BSP compute phases fanned out over (1 = in-process
+  /// LocalTransport; >1 only under TransportKind::kProcess).
+  std::uint32_t processes_used = 1;
 };
 
 /// Parallel Δ-stepping from `source`. Distances are exact (same relaxation

@@ -1,0 +1,341 @@
+// Tests for the pluggable BSP transport (mr/transport.hpp, DESIGN.md §9):
+// the Launcher's shard→process mapping, the Exchange's loopback channel and
+// row (de)serialization, ProcessTransport superstep semantics, and — the
+// load-bearing part — bit-identical parity of the whole partitioned stack
+// (Δ-stepping distances, CLUSTER labels, CL-DIAM estimates, every
+// model-level RoundStats counter) between LocalTransport and
+// ProcessTransport for every graph family, K ∈ {2, 4} and P ∈ {1, 2}, with
+// the wire counters nonzero exactly under the process transport.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/diameter.hpp"
+#include "mr/bsp_engine.hpp"
+#include "mr/exchange.hpp"
+#include "mr/partition.hpp"
+#include "mr/transport.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "test_helpers.hpp"
+
+namespace gdiam::mr {
+namespace {
+
+using test::Family;
+
+TransportOptions process_opts(std::uint32_t p) {
+  return {.kind = TransportKind::kProcess, .processes = p};
+}
+
+/// The model-level view of a RoundStats: wire counters zeroed. Everything
+/// else must be transport-invariant; the wire counters are transport-
+/// dependent by design (they include loopback stand-ins plus framing).
+RoundStats zero_wire(RoundStats s) {
+  s.wire_messages = 0;
+  s.wire_bytes = 0;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Launcher
+
+TEST(Launcher, GroupsAreContiguousBalancedAndCoverEveryShard) {
+  for (const std::uint32_t k : {1u, 2u, 5u, 7u, 16u}) {
+    for (const std::uint32_t p : {1u, 2u, 3u, 4u}) {
+      const Launcher l(k, p);
+      EXPECT_LE(l.processes(), k);
+      ShardId next = 0;
+      std::uint32_t largest = 0, smallest = k;
+      for (std::uint32_t g = 0; g < l.processes(); ++g) {
+        const auto [first, last] = l.group(g);
+        EXPECT_EQ(first, next) << "k=" << k << " p=" << p;  // contiguous
+        EXPECT_LT(first, last);  // every worker owns at least one shard
+        for (ShardId s = first; s < last; ++s) {
+          EXPECT_EQ(l.process_of(s), g);
+        }
+        largest = std::max(largest, last - first);
+        smallest = std::min(smallest, last - first);
+        next = last;
+      }
+      EXPECT_EQ(next, k);                // covers every shard
+      EXPECT_LE(largest - smallest, 1u);  // ceil-balanced
+    }
+  }
+}
+
+TEST(Launcher, ClampsProcessesToShardCount) {
+  const Launcher l(3, 64);
+  EXPECT_EQ(l.processes(), 3u);
+  EXPECT_EQ(l.num_shards(), 3u);
+}
+
+TEST(Launcher, MakeTransportSelectsKind) {
+  const auto local = Launcher::make_transport({}, 4);
+  EXPECT_FALSE(local->remote_compute());
+  EXPECT_EQ(local->processes(), 1u);
+  const auto proc = Launcher::make_transport(process_opts(2), 4);
+  EXPECT_TRUE(proc->remote_compute());
+  EXPECT_EQ(proc->processes(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Exchange: loopback channel + row serialization
+
+TEST(Exchange, LoopbackDeliversFirstAndIsNotTallied) {
+  Exchange<int> ex(2);
+  ex.send(1, 0, 10);    // routed, cross
+  ex.loopback(0, 1);    // owned-write stand-in for shard 0
+  ex.send(0, 0, 5);     // routed, shard-internal
+  ex.loopback(0, 2);
+  const ExchangeCounters c = ex.seal();
+  const auto inbox = ex.inbox(0);
+  ASSERT_EQ(inbox.size(), 4u);
+  // Loopback records first (in staging order), then routed rows by source.
+  EXPECT_EQ(inbox[0], 1);
+  EXPECT_EQ(inbox[1], 2);
+  EXPECT_EQ(inbox[2], 5);
+  EXPECT_EQ(inbox[3], 10);
+  // Model-level counters see only send() traffic.
+  EXPECT_EQ(c.messages, 2u);
+  EXPECT_EQ(c.bytes, 2u * sizeof(int));
+  EXPECT_EQ(c.cross_messages, 1u);
+  EXPECT_EQ(ex.loopback_staged(), 2u);
+  ex.clear();
+  EXPECT_EQ(ex.loopback_staged(), 0u);
+}
+
+TEST(Exchange, RowRoundTripsThroughEncodeDecode) {
+  Exchange<std::uint64_t> src(3), dst(3);
+  src.loopback(1, 111);
+  src.send(1, 0, 7);
+  src.send(1, 2, 9);
+  src.loopback(1, 222);
+  std::vector<std::byte> row;
+  src.encode_row(1, row);
+  EXPECT_EQ(dst.decode_row(1, row.data(), row.size()), 4u);
+
+  const ExchangeCounters cs = src.seal();
+  const ExchangeCounters cd = dst.seal();
+  EXPECT_EQ(cs, cd);
+  for (ShardId s = 0; s < 3; ++s) {
+    const auto a = src.inbox(s);
+    const auto b = dst.inbox(s);
+    ASSERT_EQ(a.size(), b.size()) << "shard " << s;
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(Exchange, DecodeRejectsMalformedRow) {
+  Exchange<std::uint64_t> ex(2);
+  const std::byte junk[3] = {};
+  EXPECT_THROW(ex.decode_row(0, junk, sizeof junk), std::invalid_argument);
+  // A corrupt loopback count whose byte size would wrap the multiplication
+  // must fail the framing check, not pass it and blow up the resize.
+  std::vector<std::byte> row;
+  const std::uint64_t huge = std::uint64_t{1} << 61;
+  row.resize(sizeof huge);
+  std::memcpy(row.data(), &huge, sizeof huge);
+  EXPECT_THROW(ex.decode_row(0, row.data(), row.size()),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// ProcessTransport superstep semantics
+
+class ProcessSuperstep : public testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ProcessSuperstep, MatchesLocalInboxesAndShipsCounters) {
+  const std::uint32_t procs = GetParam();
+  const Graph g = gen::path(40);
+  const Partition part(
+      g, {.num_partitions = 4, .strategy = PartitionStrategy::kRange});
+  const std::uint32_t k = part.num_partitions();
+
+  // Ring ping + one loopback per shard; shard s also reports a counter.
+  auto compute_into = [&](const Shard& sh, Exchange<std::uint32_t>& ex,
+                          std::span<std::uint64_t> counters) {
+    ex.loopback(sh.id, 1000 + sh.id);
+    ex.send(sh.id, (sh.id + 1) % k, sh.id);
+    counters[sh.id] = 77 + sh.id;
+  };
+  auto run = [&](Transport& transport, std::vector<std::uint64_t>& counters,
+                 RoundStats& stats) {
+    BspEngine engine(part, &transport);
+    Exchange<std::uint32_t> ex(k);
+    std::vector<std::vector<std::uint32_t>> inboxes(k);
+    const ExchangeCounters c = engine.superstep(
+        ex,
+        [&](const Shard& sh, Exchange<std::uint32_t>& out) {
+          compute_into(sh, out, counters);
+        },
+        [&](const Shard& sh, std::span<const std::uint32_t> inbox) {
+          inboxes[sh.id].assign(inbox.begin(), inbox.end());
+        },
+        &stats, counters);
+    // Loopback first, then the routed ring message.
+    for (ShardId s = 0; s < k; ++s) {
+      EXPECT_EQ(inboxes[s].size(), 2u);
+      if (inboxes[s].size() == 2u) {
+        EXPECT_EQ(inboxes[s][0], 1000 + s);
+        EXPECT_EQ(inboxes[s][1], (s + k - 1) % k);
+      }
+    }
+    return c;
+  };
+
+  LocalTransport local;
+  std::vector<std::uint64_t> local_counters(k, 0);
+  RoundStats local_stats;
+  const ExchangeCounters lc = run(local, local_counters, local_stats);
+
+  ProcessTransport proc(Launcher(k, procs));
+  std::vector<std::uint64_t> proc_counters(k, 0);
+  RoundStats proc_stats;
+  const ExchangeCounters pc = run(proc, proc_counters, proc_stats);
+
+  EXPECT_EQ(proc_counters, local_counters);  // counters crossed the socket
+  EXPECT_EQ(zero_wire(proc_stats), zero_wire(local_stats));
+  EXPECT_EQ(pc.messages, lc.messages);
+  EXPECT_EQ(pc.cross_messages, lc.cross_messages);
+  EXPECT_EQ(lc.wire_bytes, 0u);
+  // Every staged record (k loopbacks + k ring messages) crossed a socket.
+  EXPECT_EQ(pc.wire_messages, 2u * k);
+  EXPECT_GT(pc.wire_bytes, 0u);
+  EXPECT_EQ(proc_stats.wire_bytes, pc.wire_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Processes, ProcessSuperstep,
+                         testing::Values(1u, 2u, 4u),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Whole-stack parity: LocalTransport vs ProcessTransport
+
+class TransportParity
+    : public testing::TestWithParam<
+          std::tuple<Family, std::uint32_t, std::uint32_t>> {};
+
+TEST_P(TransportParity, DeltaSteppingBitIdentical) {
+  const auto [family, k, p] = GetParam();
+  const Graph g = test::make_family(family, 150, 42);
+
+  sssp::DeltaSteppingOptions opts;
+  opts.partition.num_partitions = k;
+  const sssp::DeltaSteppingResult local = sssp::delta_stepping(g, 0, opts);
+
+  opts.transport = process_opts(p);
+  const sssp::DeltaSteppingResult proc = sssp::delta_stepping(g, 0, opts);
+
+  EXPECT_EQ(proc.dist, local.dist);
+  EXPECT_EQ(proc.eccentricity, local.eccentricity);
+  EXPECT_EQ(proc.farthest, local.farthest);
+  EXPECT_EQ(proc.buckets_processed, local.buckets_processed);
+  EXPECT_EQ(zero_wire(proc.stats), zero_wire(local.stats));
+  EXPECT_EQ(local.stats.wire_bytes, 0u);
+  EXPECT_EQ(local.processes_used, 1u);
+  EXPECT_EQ(proc.processes_used, p);
+  EXPECT_GT(proc.stats.wire_bytes, 0u);  // compute genuinely ran elsewhere
+}
+
+TEST_P(TransportParity, ClusterLabelsAndStatsBitIdentical) {
+  const auto [family, k, p] = GetParam();
+  const Graph g = test::make_family(family, 150, 42);
+
+  core::ClusterOptions opts;
+  // tau and stop_factor sized so stages actually run on a 150-node instance
+  // (CLUSTER stops before the first stage once uncovered < 8·tau·log2 n).
+  opts.tau = 2;
+  opts.stop_factor = 1.0;
+  opts.policy = core::GrowingPolicy::kPartitioned;
+  opts.partition.num_partitions = k;
+  const core::Clustering local = core::cluster(g, opts);
+
+  opts.transport = process_opts(p);
+  const core::Clustering proc = core::cluster(g, opts);
+
+  EXPECT_EQ(proc.center_of, local.center_of);
+  EXPECT_EQ(proc.dist_to_center, local.dist_to_center);
+  EXPECT_EQ(proc.centers, local.centers);
+  EXPECT_EQ(proc.radius, local.radius);
+  EXPECT_EQ(zero_wire(proc.stats), zero_wire(local.stats));
+  EXPECT_EQ(local.stats.wire_bytes, 0u);
+  EXPECT_GT(proc.stats.wire_bytes, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, TransportParity,
+    testing::Combine(testing::ValuesIn(test::all_families()),
+                     testing::Values(2u, 4u), testing::Values(1u, 2u)),
+    [](const auto& info) {
+      return std::string(test::family_name(std::get<0>(info.param))) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_p" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// The adaptive=false legacy rounds take the other compute path
+// (step_partitioned / the baseline improved sets); pin one configuration.
+TEST(TransportParity, NonAdaptiveBaselineBitIdentical) {
+  const Graph g = test::make_family(Family::kGnmUniform, 150, 7);
+
+  sssp::DeltaSteppingOptions dopts;
+  dopts.partition.num_partitions = 4;
+  dopts.frontier.adaptive = false;
+  const sssp::DeltaSteppingResult dl = sssp::delta_stepping(g, 0, dopts);
+  dopts.transport = process_opts(2);
+  const sssp::DeltaSteppingResult dp = sssp::delta_stepping(g, 0, dopts);
+  EXPECT_EQ(dp.dist, dl.dist);
+  EXPECT_EQ(zero_wire(dp.stats), zero_wire(dl.stats));
+  EXPECT_GT(dp.stats.wire_bytes, 0u);
+
+  core::ClusterOptions copts;
+  copts.tau = 2;
+  copts.stop_factor = 1.0;
+  copts.policy = core::GrowingPolicy::kPartitioned;
+  copts.partition.num_partitions = 4;
+  copts.frontier.adaptive = false;
+  const core::Clustering cl = core::cluster(g, copts);
+  copts.transport = process_opts(2);
+  const core::Clustering cp = core::cluster(g, copts);
+  EXPECT_EQ(cp.center_of, cl.center_of);
+  EXPECT_EQ(zero_wire(cp.stats), zero_wire(cl.stats));
+  EXPECT_GT(cp.stats.wire_bytes, 0u);
+}
+
+// The acceptance-criterion pipeline: CL-DIAM end to end, multi-process,
+// bit-identical estimate and decomposition, nonzero wire traffic reported.
+TEST(TransportParity, DiameterPipelineBitIdentical) {
+  for (const Family family : test::all_families()) {
+    const Graph g = test::make_family(family, 120, 11);
+
+    core::DiameterApproxOptions opts;
+    opts.cluster.tau = 2;
+    opts.cluster.stop_factor = 1.0;
+    opts.cluster.policy = core::GrowingPolicy::kPartitioned;
+    opts.cluster.partition.num_partitions = 4;
+    const core::DiameterApproxResult local = core::approximate_diameter(g, opts);
+
+    opts.cluster.transport = process_opts(2);
+    const core::DiameterApproxResult proc = core::approximate_diameter(g, opts);
+
+    EXPECT_EQ(proc.estimate, local.estimate) << test::family_name(family);
+    EXPECT_EQ(proc.estimate_classic, local.estimate_classic);
+    EXPECT_EQ(proc.quotient_diam, local.quotient_diam);
+    EXPECT_EQ(proc.radius, local.radius);
+    EXPECT_EQ(proc.clustering.center_of, local.clustering.center_of);
+    EXPECT_EQ(zero_wire(proc.stats), zero_wire(local.stats));
+    EXPECT_EQ(local.stats.wire_bytes, 0u);
+    EXPECT_GT(proc.stats.wire_bytes, 0u) << test::family_name(family);
+  }
+}
+
+}  // namespace
+}  // namespace gdiam::mr

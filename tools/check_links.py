@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Check markdown cross-references so README/DESIGN links can't rot.
+
+Scans the repo's *.md files (git-tracked, or a filesystem walk outside a
+checkout) and validates every inline link [text](target):
+
+  * relative file targets must exist (relative to the linking file);
+  * `#anchor` fragments — standalone or after a file path — must match a
+    heading in the target file, using GitHub's slug rules (lowercase,
+    spaces to dashes, punctuation stripped, duplicate slugs suffixed);
+  * http(s)/mailto targets are skipped (nothing is fetched).
+
+Exit code 1 with one line per broken link; 0 when everything resolves.
+Run from anywhere: paths are resolved against the repo root (the parent
+of this script's directory). CI runs it on every push.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Inline links only; reference-style links are not used in this repo.
+# Matches [text](target) but not images ![alt](src) — images are checked
+# the same way, so include them by making the leading '!' optional.
+LINK_RE = re.compile(r"!?\[[^\]\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading, seen):
+    """GitHub's anchor algorithm: strip markdown emphasis/code markers,
+    lowercase, keep [word chars, spaces, dashes], spaces -> dashes, then
+    de-duplicate with -1, -2, ... suffixes per document."""
+    text = re.sub(r"[`*_]", "", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    slug = re.sub(r"[^\w\- ]", "", text.lower(), flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    if slug not in seen:
+        seen[slug] = 0
+        return slug
+    seen[slug] += 1
+    return f"{slug}-{seen[slug]}"
+
+
+def md_files():
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "*.md", "**/*.md"],
+            cwd=REPO, capture_output=True, text=True, check=True,
+        ).stdout.split()
+        if out:
+            return sorted(set(out))
+    except (OSError, subprocess.CalledProcessError):
+        pass
+    found = []
+    for root, dirs, names in os.walk(REPO):
+        dirs[:] = [d for d in dirs if d not in {".git", "build", "node_modules"}]
+        for n in names:
+            if n.endswith(".md"):
+                found.append(os.path.relpath(os.path.join(root, n), REPO))
+    return sorted(found)
+
+
+def anchors_of(path, cache={}):
+    if path in cache:
+        return cache[path]
+    seen, anchors = {}, set()
+    in_fence = False
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                if CODE_FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                m = HEADING_RE.match(line)
+                if m:
+                    anchors.add(github_slug(m.group(2), seen))
+    except OSError:
+        pass
+    cache[path] = anchors
+    return anchors
+
+
+def check_file(relpath):
+    errors = []
+    abspath = os.path.join(REPO, relpath)
+    in_fence = False
+    with open(abspath, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                target = m.group(1)
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                    continue
+                path_part, _, anchor = target.partition("#")
+                if path_part:
+                    dest = os.path.normpath(
+                        os.path.join(os.path.dirname(abspath), path_part))
+                    if not os.path.exists(dest):
+                        errors.append(
+                            f"{relpath}:{lineno}: broken link {target!r} "
+                            f"(no such file {path_part!r})")
+                        continue
+                else:
+                    dest = abspath  # same-document anchor
+                if anchor and dest.endswith(".md"):
+                    if anchor not in anchors_of(dest):
+                        errors.append(
+                            f"{relpath}:{lineno}: broken anchor {target!r} "
+                            f"(no heading with slug {anchor!r} in "
+                            f"{os.path.relpath(dest, REPO)})")
+    return errors
+
+
+def main():
+    files = md_files()
+    if not files:
+        sys.exit("check_links: no markdown files found")
+    errors = []
+    for f in files:
+        errors.extend(check_file(f))
+    for e in errors:
+        print(e)
+        if os.environ.get("GITHUB_ACTIONS") == "true":
+            print(f"::error::{e}")
+    if errors:
+        sys.exit(1)
+    print(f"check_links: {len(files)} markdown files, all links resolve")
+
+
+if __name__ == "__main__":
+    main()

@@ -37,16 +37,24 @@ commands:
   stats    FILE [--sweeps K]
   estimate FILE [--tau T] [--seed S] [--cluster2] [--classic] [--pull]
            [--partitions K] [--range-partition] [--no-adaptive]
+           [--transport local|process] [--processes P]
            [--repeat N] [--reuse-context | --no-reuse-context]
   decompose FILE --out CLUSTERING.gdcl [--tau T] [--seed S]
             [--quotient QUOTIENT_GRAPH_FILE]
   sssp     FILE [--source U] [--delta D] [--partitions K] [--range-partition]
-           [--no-adaptive] [--repeat N] [--reuse-context | --no-reuse-context]
+           [--no-adaptive] [--transport local|process] [--processes P]
+           [--repeat N] [--reuse-context | --no-reuse-context]
   convert  IN OUT
 
 --partitions K > 1 runs the kernels on the sharded BSP engine (K shards,
 hash partitioner unless --range-partition) and reports the cross-partition
 communication volume alongside rounds and work.
+
+--processes P (or --transport process) additionally fans each BSP superstep
+out over P forked worker processes exchanging messages over Unix-domain
+sockets: results are bit-identical to the in-process transport, and the cost
+line gains the genuinely-crossed wire=.../... traffic. Requires
+--partitions K > 1.
 
 --no-adaptive disables the adaptive sparse/dense frontier engine and runs
 the legacy full-scan round paths (A/B baseline; results are identical, the
@@ -89,6 +97,30 @@ mr::PartitionOptions parse_partition(const util::Options& o) {
                    ? mr::PartitionStrategy::kRange
                    : mr::PartitionStrategy::kHash;
   return p;
+}
+
+/// Shared --transport / --processes parsing (estimate and sssp). --processes
+/// alone implies the process transport; the multi-process backend only
+/// exists behind the BSP engine, so it requires --partitions K > 1.
+mr::TransportOptions parse_transport(const util::Options& o,
+                                     const mr::PartitionOptions& p) {
+  mr::TransportOptions t;
+  const std::string kind = o.get_string("transport", "");
+  if (!kind.empty() && kind != "local" && kind != "process") {
+    usage("--transport must be local or process");
+  }
+  if (kind == "local" && o.has("processes")) {
+    usage("--transport local and --processes conflict");
+  }
+  if (kind == "process" || o.has("processes")) {
+    t.kind = mr::TransportKind::kProcess;
+    t.processes = o.get_uint32("processes", 2);
+    if (t.processes == 0) usage("--processes must be >= 1");
+    if (p.num_partitions <= 1) {
+      usage("--transport process / --processes requires --partitions K > 1");
+    }
+  }
+  return t;
 }
 
 /// Shared --repeat / --reuse-context / --no-reuse-context parsing.
@@ -214,6 +246,7 @@ int cmd_estimate(const util::Options& o) {
     }
     opt.cluster.policy = core::GrowingPolicy::kPartitioned;
   }
+  opt.cluster.transport = parse_transport(o, opt.cluster.partition);
   opt.cluster.frontier.adaptive = !o.get_bool("no-adaptive", false);
   const RepeatOptions rep = parse_repeat(o);
 
@@ -283,6 +316,7 @@ int cmd_sssp(const util::Options& o) {
   sssp::DeltaSteppingOptions opt;
   opt.delta = o.get_double("delta", 0.0);
   opt.partition = parse_partition(o);
+  opt.transport = parse_transport(o, opt.partition);
   opt.frontier.adaptive = !o.get_bool("no-adaptive", false);
   const RepeatOptions rep = parse_repeat(o);
 
@@ -300,8 +334,8 @@ int cmd_sssp(const util::Options& o) {
                   rep.reuse_context ? "reused" : "fresh");
     }
   }
-  std::printf("source:        %u (Delta=%g, partitions=%u)\n", source,
-              r.delta_used, r.partitions_used);
+  std::printf("source:        %u (Delta=%g, partitions=%u, processes=%u)\n",
+              source, r.delta_used, r.partitions_used, r.processes_used);
   std::printf("eccentricity:  %.6g (farthest node %u)\n", r.eccentricity,
               r.farthest);
   std::printf("2-approx diam: %.6g\n", 2.0 * r.eccentricity);
