@@ -1,0 +1,211 @@
+// Serving-load benchmark for the gdiamd daemon path (DESIGN.md §10).
+//
+// Boots an in-process serve::Server on a private socket and measures the
+// three latencies that define the serving layer:
+//
+//   cold   — the first estimate on a graph: build + context warm-up
+//            (presplit, shard layout, pool spawn) + the query itself;
+//   warm   — the same queries on the now-hot context, one client, no
+//            queueing: pure service latency. cold/warm is the speedup the
+//            resident state buys;
+//   loaded — J concurrent connections alternating estimate and sssp on the
+//            same graph. Same-graph queries serialize on the context (by
+//            design — see src/serve/server.hpp), so these latencies include
+//            queueing; the aggregate QPS and tail percentiles are the
+//            serving numbers under contention, and the batching counters
+//            prove the scheduler coalesced the backlog.
+//
+// Emits BENCH_serving.json (bench/report.hpp): rows "cold_first_request",
+// "warm_estimate", "warm_sssp", "loaded_request" keyed by "name" with
+// "real_time" in ms, so tools/bench_diff.py can diff against
+// bench/baseline/BENCH_serving.json.
+//
+//   ./bench_serving_load [--scale ci|small|paper] [--jobs J] [--requests N]
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comparison_common.hpp"
+#include "report.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/net.hpp"
+#include "util/options.hpp"
+#include "util/scale.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace gdiam;
+
+namespace {
+
+/// Nearest-rank percentile (sorts a copy).
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * (static_cast<double>(v.size()) - 1.0) / 100.0 + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// One request over an open connection; returns the latency in ms.
+double timed_request(int fd, const serve::Message& req) {
+  const util::Timer t;
+  serve::write_message(fd, req);
+  serve::Message resp;
+  if (!serve::read_message(fd, resp) || resp.head != "ok") {
+    throw std::runtime_error("serving bench: request failed: " +
+                             resp.get("message", "connection closed"));
+  }
+  return t.millis();
+}
+
+void add_percentile_row(util::Table& table, bench::JsonReport& report,
+                        const char* label, const char* row_name,
+                        const std::vector<double>& ms) {
+  table.row()
+      .cell(label)
+      .count(ms.size())
+      .num(percentile(ms, 50.0))
+      .num(percentile(ms, 95.0))
+      .num(percentile(ms, 99.0));
+  report.add_row()
+      .put("name", row_name)
+      .put("real_time", percentile(ms, 50.0))
+      .put("p95", percentile(ms, 95.0))
+      .put("p99", percentile(ms, 99.0))
+      .put("count", static_cast<std::uint64_t>(ms.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Options opts(argc, argv);
+  const util::Scale scale = opts.has("scale")
+                                ? util::parse_scale(opts.get_string("scale", "ci"))
+                                : util::scale_from_env();
+  bench::print_preamble("serving_load: daemon QPS and latency on a hot graph",
+                        "serving layer (no paper analogue; DESIGN.md §10)",
+                        scale);
+
+  const auto jobs =
+      static_cast<unsigned>(opts.get_int("jobs", util::pick(scale, 4, 4, 8)));
+  const auto per_job = static_cast<unsigned>(
+      opts.get_int("requests", util::pick(scale, 12, 32, 96)));
+  const unsigned warm_reps = util::pick<unsigned>(scale, 4, 8, 16);
+  const auto side = util::pick<unsigned>(scale, 32, 64, 128);
+  const std::string spec = "gen:mesh:side=" + std::to_string(side) +
+                           ":weights=uniform:seed=5";
+
+  serve::ServerOptions sopts;
+  sopts.socket_path =
+      "/tmp/gdiam_bench_serving_" + std::to_string(::getpid()) + ".sock";
+  sopts.worker_threads = 2;
+  serve::Server server(sopts);
+  server.start();
+
+  serve::Message est;
+  est.head = "estimate";
+  est.set("graph", spec);
+  est.set("tau", "16");
+  serve::Message sp;
+  sp.head = "sssp";
+  sp.set("graph", spec);
+  sp.set("source", "0");
+
+  // Cold: the first request pays graph build + context warm-up.
+  const int fd0 = util::net::connect_unix(sopts.socket_path);
+  const double cold_ms = timed_request(fd0, est);
+
+  // Warm: same connection, no concurrency — pure service latency.
+  std::vector<double> warm_est, warm_sssp;
+  for (unsigned i = 0; i < warm_reps; ++i) {
+    warm_est.push_back(timed_request(fd0, est));
+    warm_sssp.push_back(timed_request(fd0, sp));
+  }
+  ::close(fd0);
+
+  // Loaded: J connections alternating verbs; latency includes queueing.
+  std::vector<std::vector<double>> loaded_ms(jobs);
+  std::vector<std::string> failures(jobs);
+  std::vector<std::thread> clients;
+  const util::Timer wall;
+  for (unsigned j = 0; j < jobs; ++j) {
+    clients.emplace_back([&, j] {
+      try {
+        const int fd = util::net::connect_unix(sopts.socket_path);
+        for (unsigned i = 0; i < per_job; ++i) {
+          loaded_ms[j].push_back(timed_request(fd, (i + j) % 2 ? sp : est));
+        }
+        ::close(fd);
+      } catch (const std::exception& e) {
+        failures[j] = e.what();
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double wall_s = wall.seconds();
+  const serve::ServerStats& stats = server.stats();
+  const std::uint64_t batches = stats.batches.load();
+  const std::uint64_t coalesced = stats.batched_requests.load();
+  server.stop();
+  for (unsigned j = 0; j < jobs; ++j) {
+    if (!failures[j].empty()) {
+      std::fprintf(stderr, "bench_serving_load: job %u: %s\n", j,
+                   failures[j].c_str());
+      return 1;
+    }
+  }
+
+  std::vector<double> loaded_all;
+  for (const auto& v : loaded_ms) {
+    loaded_all.insert(loaded_all.end(), v.begin(), v.end());
+  }
+  const double qps =
+      wall_s > 0.0 ? static_cast<double>(loaded_all.size()) / wall_s : 0.0;
+  const double warm_est_p50 = percentile(warm_est, 50.0);
+  const double warm_speedup = warm_est_p50 > 0.0 ? cold_ms / warm_est_p50 : 0.0;
+
+  bench::JsonReport report("serving");
+  report.put("scale", util::scale_name(scale));
+  report.put("graph", spec);
+  report.put("jobs", static_cast<std::uint64_t>(jobs));
+  report.put("requests",
+             static_cast<std::uint64_t>(1 + warm_est.size() + warm_sssp.size() +
+                                        loaded_all.size()));
+  report.put("qps", qps);
+  report.put("warm_speedup", warm_speedup);
+  report.put("batches", batches);
+  report.put("batched_requests", coalesced);
+
+  util::Table table({"request", "count", "p50 ms", "p95 ms", "p99 ms"});
+  table.row().cell("cold first estimate").count(1).num(cold_ms).num(cold_ms).num(
+      cold_ms);
+  report.add_row()
+      .put("name", "cold_first_request")
+      .put("real_time", cold_ms)
+      .put("count", static_cast<std::uint64_t>(1));
+  add_percentile_row(table, report, "warm estimate", "warm_estimate", warm_est);
+  add_percentile_row(table, report, "warm sssp", "warm_sssp", warm_sssp);
+  add_percentile_row(table, report, "loaded (queued)", "loaded_request",
+                     loaded_all);
+  table.print(std::cout);
+  std::printf("\nqps:          %.1f (%u jobs x %u requests in %.2fs)\n", qps,
+              jobs, per_job, wall_s);
+  std::printf("warm speedup: %.2fx (cold %.2fms -> warm estimate p50 %.2fms)\n",
+              warm_speedup, cold_ms, warm_est_p50);
+  std::printf("batching:     %llu dispatches, %llu coalesced riders\n",
+              static_cast<unsigned long long>(batches),
+              static_cast<unsigned long long>(coalesced));
+
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

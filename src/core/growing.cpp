@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <span>
 
 #include "exec/context.hpp"
@@ -49,6 +50,7 @@ void GrowingEngine::reset() {
   scratch_.assign(double_buffered ? n : 0, kUnassignedLabel);
   changed_.assign(n, 0);
   next_changed_.assign(double_buffered ? n : 0, 0);
+  ++resident_epoch_;  // blocked_ was cleared: pool workers must re-snapshot
   reset_frontier_state();
 }
 
@@ -69,6 +71,9 @@ void GrowingEngine::reset_frontier_state() {
     shard_active_.assign(k, {});
     shard_active_next_.assign(k, {});
     shard_touched_.assign(k, {});
+    // The outer vector must hold its address from before the pool workers
+    // fork: their frozen decode closures index into it every superstep.
+    if (pool_senders_.size() != k) pool_senders_.assign(k, {});
   }
 }
 
@@ -160,6 +165,7 @@ void GrowingEngine::ensure_split(Weight threshold) {
     return;
   }
   if (policy_ == GrowingPolicy::kPartitioned) {
+    const std::vector<CsrSplit>* before = shard_splits_;
     if (ctx_ != nullptr) {
       shard_splits_ = &ctx_->shard_splits_for(g_, popts_, threshold);
     } else {
@@ -170,6 +176,14 @@ void GrowingEngine::ensure_split(Weight threshold) {
             presplit_csr(sh.offsets, sh.targets, sh.weights, threshold));
       }
       shard_splits_ = &shard_splits_own_;
+    }
+    // Pool workers read the split layout from their fork-time snapshot; a
+    // re-resolution that lands on a different entry (or the same entry
+    // rebuilt for a new threshold) invalidates that snapshot. The (pointer,
+    // threshold) pair is a sound staleness key because an entry's content
+    // is a pure function of (graph, partition, threshold).
+    if (shard_splits_ != before || split_threshold_ != threshold) {
+      ++resident_epoch_;
     }
   } else {
     if (ctx_ != nullptr) {
@@ -467,6 +481,111 @@ GrowingStepResult GrowingEngine::step_pull_adaptive(
   return out;
 }
 
+// Resident-worker support (PoolTransport, mr/transport.hpp §DESIGN.md §10).
+// A pool worker forks once per epoch and keeps computing with closures and
+// member state frozen at fork time, so each step's senders are evaluated on
+// the coordinator — where labels_/changed_/afrontier_/params are current —
+// and shipped as (local id, label, budget) triples. The enumeration order
+// reproduces the in-process compute exactly (owned ids ascending on the
+// baseline and dense rounds, shard_active_ order on sparse rounds), because
+// staging order is delivery order is the determinism contract.
+void GrowingEngine::build_pool_senders(const GrowingStepParams& params,
+                                       bool adaptive, bool dense) {
+  pool_light_threshold_ = params.light_threshold;
+  const auto k = static_cast<std::int64_t>(partition_->num_partitions());
+#pragma omp parallel for schedule(dynamic, 1)
+  for (std::int64_t s = 0; s < k; ++s) {
+    const mr::Shard& sh = partition_->shard(static_cast<mr::ShardId>(s));
+    auto& senders = pool_senders_[static_cast<std::size_t>(s)];
+    senders.clear();
+    auto try_push = [&](NodeId u, NodeId l) {
+      const PackedLabel lab = labels_[u];
+      if (!label_assigned(lab)) return;
+      const Weight budget = budget_of(params, label_center(lab));
+      if (!(static_cast<Weight>(label_dist(lab)) < budget)) return;
+      senders.push_back(PoolSender{l, lab, budget});
+    };
+    if (!adaptive) {
+      for (NodeId l = 0; l < sh.num_owned; ++l) {
+        const NodeId u = sh.global_of_local[l];
+        if (changed_[u]) try_push(u, l);
+      }
+    } else if (dense) {
+      for (NodeId l = 0; l < sh.num_owned; ++l) {
+        const NodeId u = sh.global_of_local[l];
+        if (afrontier_.contains(u)) try_push(u, l);
+      }
+    } else {
+      for (const NodeId u : shard_active_[static_cast<std::size_t>(s)]) {
+        try_push(u, partition_->local_id(u));
+      }
+    }
+  }
+}
+
+// The shipped-sender edge loop: byte-for-byte the same relaxation arithmetic
+// as the in-process computes (float label distance widened to Weight, the
+// same budget/blocked tests, the same loopback/send staging), minus every
+// read of per-step coordinator state — that all arrived via the codec.
+void GrowingEngine::pool_compute_shard(const mr::Shard& sh,
+                                       mr::Exchange<LabelProposal>& ex,
+                                       std::uint64_t& messages_out) const {
+  std::uint64_t messages = 0;
+  const CsrSplit* ss = presplit_ ? &(*shard_splits_)[sh.id] : nullptr;
+  const NodeId* tgt = presplit_ ? ss->targets.data() : sh.targets.data();
+  const Weight* wt = presplit_ ? ss->weights.data() : sh.weights.data();
+  for (const PoolSender& e : pool_senders_[sh.id]) {
+    const float b = label_dist(e.label);
+    const NodeId c = label_center(e.label);
+    const EdgeIndex lo = sh.offsets[e.local];
+    const EdgeIndex hi = presplit_ ? ss->split[e.local]
+                                   : sh.offsets[e.local + 1];
+    for (EdgeIndex i = lo; i < hi; ++i) {
+      const Weight w = wt[i];
+      if (!presplit_ && w > pool_light_threshold_) continue;
+      const Weight nb = static_cast<Weight>(b) + w;
+      if (nb > e.budget) continue;
+      const NodeId tl = tgt[i];
+      const NodeId v = sh.global_of_local[tl];
+      if (blocked_[v]) continue;
+      ++messages;
+      const PackedLabel cand = pack_label(static_cast<float>(nb), c);
+      if (!sh.is_ghost(tl)) {
+        ex.loopback(sh.id, LabelProposal{tl, cand});
+      } else {
+        ex.send(sh.id, sh.ghost_owner[tl - sh.num_owned],
+                LabelProposal{partition_->local_id(v), cand});
+      }
+    }
+  }
+  messages_out = messages;
+}
+
+mr::StepInputCodec GrowingEngine::make_pool_codec() {
+  mr::StepInputCodec codec;
+  // Input frame, per shard: [Weight light_threshold][PoolSender...]. Both
+  // closures capture `this` — the engine outlives the run (context-pooled),
+  // so the worker's frozen decode writes through a stable address into
+  // members whose outer storage predates the fork.
+  codec.encode = [this](mr::ShardId s, std::vector<std::byte>& buf) {
+    const auto* t = reinterpret_cast<const std::byte*>(&pool_light_threshold_);
+    buf.insert(buf.end(), t, t + sizeof pool_light_threshold_);
+    const auto& senders = pool_senders_[s];
+    const auto* p = reinterpret_cast<const std::byte*>(senders.data());
+    buf.insert(buf.end(), p, p + senders.size() * sizeof(PoolSender));
+  };
+  codec.decode = [this](mr::ShardId s, const std::byte* p, std::size_t len) {
+    std::memcpy(&pool_light_threshold_, p, sizeof pool_light_threshold_);
+    p += sizeof pool_light_threshold_;
+    len -= sizeof pool_light_threshold_;
+    auto& senders = pool_senders_[s];
+    senders.resize(len / sizeof(PoolSender));
+    if (len != 0) std::memcpy(senders.data(), p, len);
+  };
+  codec.epoch = resident_epoch_;
+  return codec;
+}
+
 // One Δ-growing step as one BSP superstep. Semantically this is step_pull
 // re-expressed sender-side: every proposal is computed from the step-start
 // labels and the step outcome is min(step-start label, proposals), so labels
@@ -484,6 +603,15 @@ GrowingStepResult GrowingEngine::step_partitioned(
   // folds are staged as loopback records and replayed by apply instead
   // (DESIGN.md §9) — the min over the same proposal set, in the same order.
   const bool remote = bsp_->remote_compute();
+  // Resident transport (PoolTransport): the frozen worker closures can't see
+  // this step's labels_/changed_/params, so the sender set is evaluated here
+  // and shipped through the codec; compute replays it edge-for-edge.
+  const bool resident = bsp_->resident_compute();
+  mr::StepInputCodec pool_codec;
+  if (resident) {
+    build_pool_senders(params, /*adaptive=*/false, /*dense=*/false);
+    pool_codec = make_pool_codec();
+  }
 
   // Step-start snapshot; shards fold proposals into scratch_ below.
 #pragma omp parallel for schedule(static, 4096)
@@ -497,6 +625,10 @@ GrowingStepResult GrowingEngine::step_partitioned(
   std::vector<std::uint64_t> shard_newly(k, 0);
 
   auto compute = [&](const mr::Shard& sh, mr::Exchange<LabelProposal>& ex) {
+    if (resident) {  // shipped senders; frame-locals below stay untouched
+      pool_compute_shard(sh, ex, shard_messages[sh.id]);
+      return;
+    }
     std::uint64_t messages = 0;
     // Presplit shards share the flat layout's discipline: the light half of
     // each owned node's permuted segment, no per-edge weight filter.
@@ -565,7 +697,8 @@ GrowingStepResult GrowingEngine::step_partitioned(
 
   const mr::ExchangeCounters traffic = bsp_->superstep(
       exchange_, compute, apply, nullptr,
-      std::span<std::uint64_t>(shard_messages.data(), shard_messages.size()));
+      std::span<std::uint64_t>(shard_messages.data(), shard_messages.size()),
+      resident ? &pool_codec : nullptr);
 
   labels_.swap(scratch_);
   changed_.swap(next_changed_);
@@ -599,6 +732,15 @@ GrowingStepResult GrowingEngine::step_partitioned_adaptive(
   // replayed by apply, which already does the identical touch-stamp fold for
   // routed proposals (DESIGN.md §9).
   const bool remote = bsp_->remote_compute();
+  // Resident transport: the active set (dense frontier test or sparse
+  // shard_active_ lists) is enumerated here, in this mode's exact order, and
+  // shipped — the frozen workers replay edges without reading either.
+  const bool resident = bsp_->resident_compute();
+  mr::StepInputCodec pool_codec;
+  if (resident) {
+    build_pool_senders(params, /*adaptive=*/true, dense);
+    pool_codec = make_pool_codec();
+  }
 
   if (++touch_round_ == 0) {  // stamp generation wraparound: rebase
     std::fill(touch_stamp_.begin(), touch_stamp_.end(), 0);
@@ -613,6 +755,10 @@ GrowingStepResult GrowingEngine::step_partitioned_adaptive(
   std::vector<std::uint64_t> shard_newly(k, 0);
 
   auto compute = [&](const mr::Shard& sh, mr::Exchange<LabelProposal>& ex) {
+    if (resident) {  // shipped senders; frame-locals below stay untouched
+      pool_compute_shard(sh, ex, shard_messages[sh.id]);
+      return;
+    }
     std::uint64_t messages = 0;
     const CsrSplit* ss = presplit_ ? &(*shard_splits_)[sh.id] : nullptr;
     const NodeId* tgt = presplit_ ? ss->targets.data() : sh.targets.data();
@@ -705,7 +851,8 @@ GrowingStepResult GrowingEngine::step_partitioned_adaptive(
 
   const mr::ExchangeCounters traffic = bsp_->superstep(
       exchange_, compute, apply, nullptr,
-      std::span<std::uint64_t>(shard_messages.data(), shard_messages.size()));
+      std::span<std::uint64_t>(shard_messages.data(), shard_messages.size()),
+      resident ? &pool_codec : nullptr);
 
   shard_active_.swap(shard_active_next_);
   afrontier_.advance();

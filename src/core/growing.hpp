@@ -130,8 +130,13 @@ class GrowingEngine {
   void set_source(NodeId u, NodeId center, Weight dist = 0.0);
 
   /// Marks `u` as a contracted-cluster member: it keeps proposing from its
-  /// current label but never accepts updates.
-  void block(NodeId u) noexcept { blocked_[u] = 1; }
+  /// current label but never accepts updates. Mutates fork-time-resident
+  /// state, so it advances the resident epoch: pool workers re-snapshot at
+  /// the next step (once per contraction wave, not per blocked node).
+  void block(NodeId u) noexcept {
+    blocked_[u] = 1;
+    ++resident_epoch_;
+  }
   [[nodiscard]] bool is_blocked(NodeId u) const noexcept {
     return blocked_[u] != 0;
   }
@@ -162,6 +167,7 @@ class GrowingEngine {
   void set_presplit(bool on) noexcept {
     presplit_ = on;
     split_ready_ = false;
+    ++resident_epoch_;  // pool workers read presplit_ + the split layout
   }
   [[nodiscard]] bool presplit() const noexcept { return presplit_; }
 
@@ -191,6 +197,14 @@ class GrowingEngine {
   [[nodiscard]] const mr::TransportOptions& transport_options()
       const noexcept {
     return topts_;
+  }
+
+  /// The transport the kPartitioned supersteps run on; nullptr for
+  /// kPush/kPull. Exposed for lifecycle observability (daemon stats) and
+  /// the fault-injection tests, which kill a PoolTransport worker pid and
+  /// assert the launcher restarts it.
+  [[nodiscard]] mr::Transport* transport() const noexcept {
+    return transport_.get();
   }
 
   /// Aggregate outcome of a run of Δ-growing steps.
@@ -251,11 +265,35 @@ class GrowingEngine {
   }
 
  private:
+  /// One pre-filtered sender a resident pool worker relaxes from: the
+  /// shard-local id, the step-start label, and the center's budget — the
+  /// full per-sender state the compute edge loop needs, evaluated on the
+  /// coordinator so the worker never reads labels_/changed_/params (which
+  /// its fork-time snapshot would have stale).
+  struct PoolSender {
+    NodeId local = 0;
+    PackedLabel label = kUnassignedLabel;
+    Weight budget = 0.0;
+  };
+
   GrowingStepResult step_push(const GrowingStepParams& params);
   GrowingStepResult step_pull(const GrowingStepParams& params);
   GrowingStepResult step_pull_adaptive(const GrowingStepParams& params);
   GrowingStepResult step_partitioned(const GrowingStepParams& params);
   GrowingStepResult step_partitioned_adaptive(const GrowingStepParams& params);
+
+  /// Fills pool_senders_ with the step's senders, per shard, in exactly the
+  /// enumeration order the in-process compute would visit them — order is
+  /// staging order is delivery order, so pre-filtering must not permute it.
+  void build_pool_senders(const GrowingStepParams& params, bool adaptive,
+                          bool dense);
+  /// The shipped-sender edge loop a resident worker runs instead of the
+  /// frame-capturing compute closures (always stages via loopback/send).
+  void pool_compute_shard(const mr::Shard& sh,
+                          mr::Exchange<LabelProposal>& ex,
+                          std::uint64_t& messages_out) const;
+  /// Input codec handed to BspEngine::superstep under a resident transport.
+  [[nodiscard]] mr::StepInputCodec make_pool_codec();
 
   void rebuild_frontier_adaptive(const GrowingStepParams& params);
   void snapshot_push_labels();
@@ -302,6 +340,15 @@ class GrowingEngine {
   std::vector<std::vector<NodeId>> shard_active_;       // changed, per shard
   std::vector<std::vector<NodeId>> shard_active_next_;
   std::vector<std::vector<NodeId>> shard_touched_;
+  // Resident-worker (PoolTransport) state. pool_senders_/pool_light_
+  // threshold_ are the per-step inputs the codec ships (stable member
+  // addresses: a worker's frozen decode closure writes them through this).
+  // resident_epoch_ versions everything else a pool worker's compute reads
+  // from its fork-time snapshot (blocked_, the presplit layout): bumping it
+  // makes the transport respawn workers at the next superstep.
+  std::vector<std::vector<PoolSender>> pool_senders_;
+  Weight pool_light_threshold_ = kInfiniteWeight;
+  std::uint64_t resident_epoch_ = 1;
   // Δ-presplit adjacency, cached per light_threshold (rebuilt when a stage
   // changes the threshold, not per step). Context-backed engines instead
   // look the split up in the context's keyed cache at every threshold change

@@ -30,10 +30,12 @@ struct ExecOptions {
   /// selects the flat shared-memory kernels.
   mr::PartitionOptions partition;
   /// Where the BSP compute phases run and how staged messages travel
-  /// (mr/transport.hpp, DESIGN.md §9): kLocal is the in-process default,
-  /// kProcess fans each superstep out over `processes` forked workers —
-  /// bit-identical results, with RoundStats additionally reporting the
-  /// genuinely-crossed wire bytes. Only the partitioned backends read it.
+  /// (mr/transport.hpp, DESIGN.md §9–§10): kLocal is the in-process default,
+  /// kProcess fans each superstep out over `processes` forked workers, and
+  /// kPool keeps those workers resident across supersteps with per-step
+  /// inputs shipped over persistent sockets — all bit-identical results,
+  /// with RoundStats additionally reporting the genuinely-crossed wire
+  /// bytes. Only the partitioned backends read it.
   mr::TransportOptions transport;
   /// Δ-presplit adjacency (graph/split_csr.hpp): iterate exactly the edge
   /// class a phase needs, no per-edge weight branch. `false` keeps the

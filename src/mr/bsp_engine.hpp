@@ -40,6 +40,27 @@
 
 namespace gdiam::mr {
 
+/// Per-superstep input codec for resident-worker transports (PoolTransport).
+/// A pool worker is forked once and keeps computing with closures frozen at
+/// fork time, so everything compute reads that *changes between supersteps*
+/// must be shipped through this codec instead of assumed visible:
+///
+///   encode — coordinator side, serializes shard `s`'s step input;
+///   decode — worker side (a frozen closure), installs the bytes into
+///            storage whose address was stable at fork time (members, round
+///            buffers) so the frozen compute closure reads the fresh values;
+///   epoch  — version of the *non-shipped* resident state compute reads
+///            (presplit layout, blocked sets). Bump it on mutation and the
+///            pool re-snapshots the workers.
+///
+/// Algorithms that don't supply a codec still run correctly under a pool —
+/// the transport falls back to respawning workers every superstep.
+struct StepInputCodec {
+  std::function<void(ShardId, std::vector<std::byte>&)> encode;
+  std::function<void(ShardId, const std::byte*, std::size_t)> decode;
+  std::uint64_t epoch = 0;
+};
+
 class BspEngine {
  public:
   /// The partition — and the transport, when given — must outlive the
@@ -63,6 +84,13 @@ class BspEngine {
     return transport_->remote_compute();
   }
 
+  /// True when workers stay resident across supersteps (PoolTransport):
+  /// algorithms should pass a StepInputCodec to superstep() so per-step
+  /// inputs travel by wire, and bump its epoch when resident state mutates.
+  [[nodiscard]] bool resident_compute() const noexcept {
+    return transport_->resident_workers();
+  }
+
   /// Supersteps executed so far (each is one synchronous round).
   [[nodiscard]] std::uint64_t supersteps() const noexcept {
     return supersteps_;
@@ -77,10 +105,14 @@ class BspEngine {
   /// `shard_counters` (empty or one slot per shard, slot s written only by
   /// shard s's compute) travels with the messages under a remote transport,
   /// so per-shard compute tallies survive the process boundary.
+  /// `input` (optional) is the resident-worker codec: under PoolTransport
+  /// it ships per-superstep inputs to the frozen workers; other transports
+  /// ignore it entirely.
   template <typename Msg, typename ComputeFn, typename ApplyFn>
   ExchangeCounters superstep(Exchange<Msg>& ex, ComputeFn&& compute,
                              ApplyFn&& apply, RoundStats* stats = nullptr,
-                             std::span<std::uint64_t> shard_counters = {}) {
+                             std::span<std::uint64_t> shard_counters = {},
+                             const StepInputCodec* input = nullptr) {
     const auto k = static_cast<std::int64_t>(partition_.num_partitions());
 
     // Phase 1: local compute, one thread or worker process per shard
@@ -97,6 +129,14 @@ class BspEngine {
       return ex.decode_row(s, data, len);
     };
     plan.shard_counters = shard_counters;
+    if (input != nullptr) {
+      plan.encode_input = input->encode;
+      plan.decode_input = input->decode;
+      plan.resident_epoch = input->epoch;
+    }
+    // A resident worker never seals/clears its exchange copy, so it resets
+    // each staged row just before recomputing it.
+    plan.reset_row = [&ex](ShardId s) { ex.clear_row(s); };
     const TransportStats wire = transport_->run_compute(plan);
 
     // Phase 2: the barrier — deterministic delivery + traffic accounting.

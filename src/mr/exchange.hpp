@@ -211,6 +211,15 @@ class Exchange {
     return nloop + rows_[s].size();
   }
 
+  /// Empties shard `s`'s staged row (send + loopback) only. A resident pool
+  /// worker (mr/transport.hpp PoolTransport) never runs seal()/clear() — the
+  /// coordinator does — so before each compute it drops the stale staging
+  /// its copy of the exchange accumulated in the previous superstep.
+  void clear_row(ShardId s) noexcept {
+    rows_[s].clear();
+    loop_[s].clear();
+  }
+
   /// Empties mailboxes and inboxes, ready for the next superstep. Capacity
   /// is kept so steady-state rounds allocate nothing.
   void clear() noexcept {

@@ -1,60 +1,29 @@
 #include "mr/transport.hpp"
 
 #include <sys/socket.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 
 #include <omp.h>
 
+#include "util/net.hpp"
+
 namespace gdiam::mr {
+
+namespace net = gdiam::util::net;
 
 namespace {
 
 /// Errors are thrown bare; run_compute catches them, finishes cleanup
-/// (close fds, reap children) and rethrows with the ProcessTransport prefix.
+/// (close fds, reap children) and rethrows with the transport prefix.
 [[noreturn]] void throw_errno(const char* what) {
   throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
-}
-
-/// write(2) until `len` bytes are on the socket (partial writes + EINTR).
-bool write_all(int fd, const void* data, std::size_t len) noexcept {
-  const char* p = static_cast<const char*>(data);
-  while (len > 0) {
-    const ssize_t n = ::write(fd, p, len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Reads the socket to EOF (the worker closes its end after the last frame).
-std::vector<std::byte> read_to_eof(int fd) {
-  std::vector<std::byte> out;
-  std::byte buf[1 << 16];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof buf);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("read from worker");
-    }
-    if (n == 0) return out;
-    out.insert(out.end(), buf, buf + n);
-  }
-}
-
-void append_u64(std::vector<std::byte>& out, std::uint64_t v) {
-  const auto* p = reinterpret_cast<const std::byte*>(&v);
-  out.insert(out.end(), p, p + sizeof v);
 }
 
 /// Cursor over a worker's byte stream; a short stream means the worker died
@@ -83,6 +52,11 @@ struct Reader {
     return at;
   }
 };
+
+/// How long teardown waits for a worker to exit on its own before SIGKILL.
+/// Workers _exit right after their last write (process) or on 'Q'/EOF
+/// (pool), so the deadline only ever bites on a genuinely wedged child.
+constexpr int kReapTimeoutMs = 5000;
 
 }  // namespace
 
@@ -113,6 +87,10 @@ std::unique_ptr<Transport> Launcher::make_transport(
     const TransportOptions& opts, std::uint32_t num_shards) {
   if (opts.kind == TransportKind::kProcess) {
     return std::make_unique<ProcessTransport>(
+        Launcher(num_shards, opts.processes));
+  }
+  if (opts.kind == TransportKind::kPool) {
+    return std::make_unique<PoolTransport>(
         Launcher(num_shards, opts.processes));
   }
   return std::make_unique<LocalTransport>();
@@ -171,13 +149,13 @@ TransportStats ProcessTransport::run_compute(const SuperstepPlan& plan) {
         for (ShardId s = first; s < last; ++s) {
           row.clear();
           plan.encode_row(s, row);
-          append_u64(frames, row.size());
+          net::append_u64(frames, row.size());
           frames.insert(frames.end(), row.begin(), row.end());
-          append_u64(frames, plan.shard_counters.empty()
-                                 ? 0
-                                 : plan.shard_counters[s]);
+          net::append_u64(frames, plan.shard_counters.empty()
+                                      ? 0
+                                      : plan.shard_counters[s]);
         }
-        if (!write_all(fds[1], frames.data(), frames.size())) status = 3;
+        if (!net::write_all(fds[1], frames.data(), frames.size())) status = 3;
       } catch (...) {
         status = 2;  // compute threw; the coordinator turns this into one
       }                // "worker failed" error after reaping
@@ -199,7 +177,7 @@ TransportStats ProcessTransport::run_compute(const SuperstepPlan& plan) {
     if (rx[p] < 0) continue;  // never spawned (mid-spawn failure)
     if (error.empty()) {
       try {
-        const std::vector<std::byte> stream = read_to_eof(rx[p]);
+        const std::vector<std::byte> stream = net::read_to_eof(rx[p]);
         out.wire_bytes += stream.size();
         Reader r{stream.data(), stream.data() + stream.size()};
         const auto [first, last] = launcher_.group(p);
@@ -215,22 +193,21 @@ TransportStats ProcessTransport::run_compute(const SuperstepPlan& plan) {
     }
     ::close(rx[p]);
   }
+  // Bounded reap: a worker that neither exited nor can be waited on within
+  // the deadline is SIGKILLed rather than hanging the coordinator forever,
+  // and every nonzero exit status (including that escalation) surfaces as a
+  // transport error — a dead-but-zero-looking superstep is silent data loss.
   std::string worker_error;
   for (std::uint32_t p = 0; p < procs; ++p) {
     if (pids[p] < 0) continue;
-    int status = 0;
-    pid_t r;
-    do {
-      r = ::waitpid(pids[p], &status, 0);
-    } while (r < 0 && errno == EINTR);
-    if (worker_error.empty() &&
-        (r < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0)) {
-      const char* why =
-          r >= 0 && WIFEXITED(status) && WEXITSTATUS(status) == 2
-              ? "compute threw in worker "
-          : r >= 0 && WIFEXITED(status) && WEXITSTATUS(status) == 3
-              ? "socket write failed in worker "
-              : "worker died: worker ";
+    const net::ReapResult rr = net::reap_child(pids[p], kReapTimeoutMs);
+    const int code = rr.exit_code();
+    if (worker_error.empty() && code != 0) {
+      const char* why = !rr.reaped   ? "lost worker "
+                        : rr.sigkilled ? "hung worker (killed): worker "
+                        : code == 2    ? "compute threw in worker "
+                        : code == 3    ? "socket write failed in worker "
+                                       : "worker died: worker ";
       worker_error = why + std::to_string(p);
     }
   }
@@ -239,6 +216,236 @@ TransportStats ProcessTransport::run_compute(const SuperstepPlan& plan) {
   if (!worker_error.empty()) error = worker_error;
   if (!error.empty()) throw std::runtime_error("ProcessTransport: " + error);
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// PoolTransport
+// ---------------------------------------------------------------------------
+
+PoolTransport::PoolTransport(Launcher launcher) : launcher_(launcher) {
+  workers_.assign(launcher_.processes(), Worker{});
+}
+
+PoolTransport::~PoolTransport() { shutdown(); }
+
+pid_t PoolTransport::worker_pid(std::uint32_t p) const noexcept {
+  return p < workers_.size() ? workers_[p].pid : -1;
+}
+
+void PoolTransport::stop_worker(Worker& w) noexcept {
+  if (w.fd >= 0) {
+    const char quit = 'Q';
+    net::write_all(w.fd, &quit, 1);  // best effort; a dead worker is EPIPE
+    ::close(w.fd);
+    w.fd = -1;
+  }
+  if (w.pid > 0) {
+    net::reap_child(w.pid, kReapTimeoutMs);
+    w.pid = -1;
+  }
+}
+
+void PoolTransport::shutdown() noexcept {
+  for (Worker& w : workers_) stop_worker(w);
+  alive_ = false;
+}
+
+void PoolTransport::spawn_worker(std::uint32_t p, const SuperstepPlan& plan) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw_errno("socketpair");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw_errno("fork");
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    // fd hygiene: drop the coordinator ends of the sibling workers' sockets
+    // so closing one coordinator-side fd reliably EOFs exactly one worker.
+    for (const Worker& w : workers_) {
+      if (w.fd >= 0) ::close(w.fd);
+    }
+    worker_main(p, fds[1], plan);  // never returns
+  }
+  ::close(fds[1]);
+  workers_[p] = Worker{pid, fds[0]};
+  ++spawns_;
+}
+
+void PoolTransport::worker_main(std::uint32_t p, int fd,
+                                const SuperstepPlan& plan) {
+  // `plan` refers to the coordinator frame live at fork time; the child's
+  // copy-on-write image freezes that frame (and every closure it reaches)
+  // at a stable address for the worker's whole life — worker_main never
+  // returns, so nothing below it ever unwinds. All per-superstep variation
+  // arrives through decode_input, which writes into storage that was
+  // already allocated at fork time (the stable-address contract).
+  const auto [first, last] = launcher_.group(p);
+  std::vector<std::byte> input;
+  std::vector<std::byte> frames;
+  std::vector<std::byte> row;
+  for (;;) {
+    char cmd = 0;
+    if (!net::read_exact(fd, &cmd, 1)) ::_exit(0);  // coordinator is gone
+    if (cmd == 'Q') ::_exit(0);
+    if (cmd != 'S') ::_exit(4);
+    try {
+      for (ShardId s = first; s < last; ++s) {
+        std::uint64_t len = 0;
+        if (!net::read_u64(fd, len)) ::_exit(5);
+        input.resize(len);
+        if (len != 0 && !net::read_exact(fd, input.data(), len)) ::_exit(5);
+        if (len != 0 && plan.decode_input) {
+          plan.decode_input(s, input.data(), len);
+        }
+        if (plan.reset_row) plan.reset_row(s);
+      }
+      for (ShardId s = first; s < last; ++s) plan.compute(s);
+      frames.clear();
+      net::append_u64(frames, 0);  // status: ok
+      for (ShardId s = first; s < last; ++s) {
+        row.clear();
+        plan.encode_row(s, row);
+        net::append_u64(frames, row.size());
+        frames.insert(frames.end(), row.begin(), row.end());
+        net::append_u64(frames, plan.shard_counters.empty()
+                                    ? 0
+                                    : plan.shard_counters[s]);
+      }
+      if (!net::write_all(fd, frames.data(), frames.size())) ::_exit(3);
+    } catch (...) {
+      // Deterministic failure (compute/encode threw): report it as a status
+      // frame so the coordinator raises one error instead of burning its
+      // restart budget replaying a step that will always throw.
+      net::write_u64(fd, 2);
+      ::_exit(2);
+    }
+  }
+}
+
+bool PoolTransport::send_step(const Worker& w, std::uint32_t p,
+                              const SuperstepPlan& plan,
+                              std::uint64_t& bytes) noexcept {
+  std::vector<std::byte> frame;
+  frame.push_back(std::byte{'S'});
+  const auto [first, last] = launcher_.group(p);
+  std::vector<std::byte> input;
+  for (ShardId s = first; s < last; ++s) {
+    input.clear();
+    if (plan.encode_input) plan.encode_input(s, input);
+    net::append_u64(frame, input.size());
+    frame.insert(frame.end(), input.begin(), input.end());
+  }
+  if (!net::write_all(w.fd, frame.data(), frame.size())) return false;
+  bytes += frame.size();
+  return true;
+}
+
+bool PoolTransport::recv_step(const Worker& w, std::uint32_t p,
+                              const SuperstepPlan& plan, std::uint64_t& msgs,
+                              std::uint64_t& bytes, std::string& fatal) {
+  std::uint64_t status = 0;
+  if (!net::read_u64(w.fd, status)) return false;
+  bytes += sizeof status;
+  if (status != 0) {
+    fatal = status == 2
+                ? "compute threw in pool worker " + std::to_string(p)
+                : "pool worker " + std::to_string(p) + " failed (status " +
+                      std::to_string(status) + ")";
+    return true;  // the worker is alive and told us why — don't retry
+  }
+  const auto [first, last] = launcher_.group(p);
+  std::vector<std::byte> row;
+  for (ShardId s = first; s < last; ++s) {
+    std::uint64_t row_len = 0;
+    if (!net::read_u64(w.fd, row_len)) return false;
+    row.resize(row_len);
+    if (row_len != 0 && !net::read_exact(w.fd, row.data(), row_len)) {
+      return false;
+    }
+    msgs += plan.decode_row(s, row.data(), row_len);
+    std::uint64_t counter = 0;
+    if (!net::read_u64(w.fd, counter)) return false;
+    if (!plan.shard_counters.empty()) plan.shard_counters[s] = counter;
+    bytes += 2 * sizeof(std::uint64_t) + row_len;
+  }
+  return true;
+}
+
+TransportStats PoolTransport::run_compute(const SuperstepPlan& plan) {
+  const std::uint32_t procs = launcher_.processes();
+  const bool has_codec =
+      plan.encode_input != nullptr && plan.decode_input != nullptr;
+
+  try {
+    // Residency gate. No codec ⇒ the frozen closures cannot receive fresh
+    // inputs, so degrade to respawn-per-superstep (ProcessTransport
+    // semantics, still correct). An epoch change ⇒ the resident state the
+    // closures read beyond the inputs has mutated ⇒ re-snapshot.
+    if (!alive_ || !has_codec || epoch_ != plan.resident_epoch) {
+      shutdown();
+      for (std::uint32_t p = 0; p < procs; ++p) spawn_worker(p, plan);
+      alive_ = true;
+      epoch_ = plan.resident_epoch;
+    }
+
+    // Per-group tallies are overwritten on retry, never double-counted.
+    std::vector<std::uint64_t> grp_msgs(procs, 0);
+    std::vector<std::uint64_t> grp_bytes(procs, 0);
+    std::vector<std::uint32_t> todo(procs);
+    std::iota(todo.begin(), todo.end(), 0u);
+
+    for (int attempt = 0; !todo.empty(); ++attempt) {
+      if (attempt >= 3) {
+        throw std::runtime_error(
+            "worker restart limit reached (group " +
+            std::to_string(todo.front()) + ")");
+      }
+      // Write every group's inputs before reading any reply: workers only
+      // write after consuming their whole input, so ordering all sends
+      // first is deadlock-free regardless of reply sizes.
+      std::vector<std::uint32_t> sent;
+      std::vector<std::uint32_t> failed;
+      for (const std::uint32_t p : todo) {
+        grp_msgs[p] = 0;
+        grp_bytes[p] = 0;
+        (send_step(workers_[p], p, plan, grp_bytes[p]) ? sent : failed)
+            .push_back(p);
+      }
+      std::string fatal;
+      for (const std::uint32_t p : sent) {
+        if (!recv_step(workers_[p], p, plan, grp_msgs[p], grp_bytes[p],
+                       fatal)) {
+          failed.push_back(p);
+        }
+        if (!fatal.empty()) throw std::runtime_error(fatal);
+      }
+      // Crash recovery: respawn the dead groups from *current* coordinator
+      // state (trivially at the current epoch) and replay only their step.
+      // Rows are a pure function of (resident layout, shipped inputs), so
+      // the replayed exchange is bit-identical to what the dead worker
+      // would have produced.
+      for (const std::uint32_t p : failed) {
+        stop_worker(workers_[p]);
+        spawn_worker(p, plan);
+        ++restarts_;
+      }
+      todo = std::move(failed);
+    }
+
+    TransportStats out;
+    for (std::uint32_t p = 0; p < procs; ++p) {
+      out.wire_messages += grp_msgs[p];
+      out.wire_bytes += grp_bytes[p];
+    }
+    return out;
+  } catch (const std::exception& e) {
+    shutdown();  // never leave half-alive workers behind a thrown superstep
+    throw std::runtime_error(std::string("PoolTransport: ") + e.what());
+  }
 }
 
 }  // namespace gdiam::mr

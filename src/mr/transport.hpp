@@ -13,7 +13,7 @@
 //   deterministic delivery order, traffic tallying, the apply phase — is
 //   transport-invariant, which is what makes the backends bit-identical.
 //
-// Two implementations:
+// Three implementations:
 //
 //   * LocalTransport — today's path: one OpenMP thread per shard, staging
 //     rows are already in the coordinator's memory, nothing is serialized.
@@ -33,17 +33,45 @@
 //     writes with the plan's shard_counters slots. Bytes read back from the
 //     workers are the genuinely-crossed `wire_bytes` that feed RoundStats.
 //
+//   * PoolTransport — resident workers: forks each group's worker ONCE (at
+//     the first superstep, so the fork snapshot carries the run's resident
+//     layout: partition slice, presplit CSR, the algorithm's scratch) and
+//     keeps it alive across supersteps on a persistent socketpair. The
+//     coordinator's state keeps evolving after the fork, so the worker's
+//     snapshot goes stale in two ways, with two matching mechanisms:
+//
+//       - per-superstep inputs (the frontier, the active-sender set) change
+//         every step → the plan's encode_input/decode_input codec ships
+//         them over the socket; decode_input is a closure frozen at fork
+//         time that writes the fresh bytes into *stable-address* storage
+//         (members, round buffers), then the frozen compute reads them;
+//       - fork-time-resident state (a re-resolved presplit, a blocked-set
+//         mutation) changes occasionally → the algorithm bumps the plan's
+//         resident_epoch and the pool quits + respawns the workers,
+//         re-snapshotting the coordinator.
+//
+//     A plan without an input codec degrades safely: the pool respawns the
+//     workers every superstep, which is exactly ProcessTransport semantics.
+//     Worker crashes are survivable for the same reason residency is
+//     correct at all: under the remote-compute contract a superstep's rows
+//     are a pure function of (resident layout, shipped inputs), so the
+//     launcher respawns the dead group from current coordinator state and
+//     replays just that group's exchange — bit-identical by construction.
+//
 // Determinism contract (DESIGN.md §9): delivery is a pure function of
 // (source shard, staging order). The transport only moves rows between
 // address spaces keyed by shard id — it never reorders within a row and the
 // coordinator reassembles rows by shard id, not by arrival time — so the
 // sealed inboxes are identical under every transport and every P.
 
+#include <sys/types.h>
+
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -51,7 +79,7 @@
 
 namespace gdiam::mr {
 
-enum class TransportKind { kLocal, kProcess };
+enum class TransportKind { kLocal, kProcess, kPool };
 
 /// Transport selection knobs, carried by exec::ExecOptions so one assignment
 /// configures a whole pipeline (`--transport process --processes P` in the
@@ -122,6 +150,27 @@ class Transport {
     /// back alongside the row (e.g. the relaxed-edge counts the algorithms
     /// fold into RoundStats::messages).
     std::span<std::uint64_t> shard_counters;
+
+    // --- resident-worker extensions (PoolTransport; others ignore them) ---
+
+    /// Coordinator side: serializes shard `s`'s per-superstep input (the
+    /// state compute reads that changes between supersteps — frontier
+    /// buckets, active senders). Null ⇒ no codec ⇒ the pool falls back to
+    /// respawn-per-superstep.
+    std::function<void(ShardId, std::vector<std::byte>&)> encode_input;
+    /// Worker side: installs a shipped input into stable-address storage
+    /// before compute runs. This closure is frozen at fork time — it must
+    /// only write through pointers/references that were valid at the fork.
+    std::function<void(ShardId, const std::byte*, std::size_t)> decode_input;
+    /// Worker side: drops shard `s`'s stale exchange staging from the
+    /// previous superstep (Exchange::clear_row). The engine supplies this;
+    /// resident workers never seal/clear their exchange copy.
+    std::function<void(ShardId)> reset_row;
+    /// Version of the fork-time-resident state the compute closure reads
+    /// beyond the shipped inputs (presplit layout, blocked sets, …). When it
+    /// differs from the epoch a pool worker was forked at, the pool respawns
+    /// the worker before running the step.
+    std::uint64_t resident_epoch = 0;
   };
 
   virtual ~Transport() = default;
@@ -130,6 +179,14 @@ class Transport {
   /// writes to coordinator state are lost: algorithms must route owned-state
   /// effects through Exchange::loopback and counters through shard_counters.
   [[nodiscard]] virtual bool remote_compute() const noexcept = 0;
+
+  /// True when workers stay resident across supersteps (PoolTransport):
+  /// algorithms should supply the plan's input codec so per-superstep state
+  /// is shipped instead of re-snapshotted, and bump resident_epoch whenever
+  /// fork-time-resident state mutates.
+  [[nodiscard]] virtual bool resident_workers() const noexcept {
+    return false;
+  }
 
   /// Worker processes compute fans out over (1 for LocalTransport).
   [[nodiscard]] virtual std::uint32_t processes() const noexcept = 0;
@@ -165,6 +222,80 @@ class ProcessTransport final : public Transport {
 
  private:
   Launcher launcher_;
+};
+
+/// Resident-worker transport: one long-lived worker per Launcher group,
+/// forked at the first superstep of a run and kept on a persistent AF_UNIX
+/// socketpair. See the header comment for the staleness model (shipped
+/// inputs + epoch respawn) and DESIGN.md §10 for the worker ownership story.
+///
+/// Wire protocol (host order, framed with util::net helpers):
+///   coordinator → worker   'S' then per owned shard [u64 len][input bytes]
+///                          (len 0 when the plan has no codec)
+///   worker → coordinator   [u64 status] then, when status == 0, per owned
+///                          shard [u64 row_len][row][u64 shard counter]
+///   coordinator → worker   'Q' (or EOF) — worker _exits 0
+///
+/// Crash handling: a send/recv failure on a group marks it dead; the pool
+/// respawns it from *current* coordinator state (a fresh COW snapshot is
+/// trivially epoch-correct) and replays only that group's step. Rows are a
+/// pure function of (resident layout, shipped inputs) under the
+/// remote-compute contract, so the replay is bit-identical. Bounded retry;
+/// persistent failure surfaces as one PoolTransport error.
+class PoolTransport final : public Transport {
+ public:
+  explicit PoolTransport(Launcher launcher);
+  ~PoolTransport() override;
+
+  PoolTransport(const PoolTransport&) = delete;
+  PoolTransport& operator=(const PoolTransport&) = delete;
+
+  [[nodiscard]] bool remote_compute() const noexcept override { return true; }
+  [[nodiscard]] bool resident_workers() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] std::uint32_t processes() const noexcept override {
+    return launcher_.processes();
+  }
+  [[nodiscard]] const Launcher& launcher() const noexcept { return launcher_; }
+  TransportStats run_compute(const SuperstepPlan& plan) override;
+
+  /// Quits and reaps every worker (bounded wait, SIGKILL escalation).
+  /// Idempotent; also run by the destructor and by epoch respawns.
+  void shutdown() noexcept;
+
+  /// Lifecycle observability (tests, daemon stats). `spawns` counts every
+  /// worker fork (initial + epoch respawns + crash restarts); `restarts`
+  /// only the crash-triggered ones.
+  [[nodiscard]] std::uint64_t spawns() const noexcept { return spawns_; }
+  [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_; }
+
+  /// Pid of group `p`'s resident worker, or -1 when not spawned. Fault
+  /// injection hooks for the restart tests.
+  [[nodiscard]] pid_t worker_pid(std::uint32_t p) const noexcept;
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;  // coordinator end of the persistent socketpair
+  };
+
+  void spawn_worker(std::uint32_t p, const SuperstepPlan& plan);
+  [[noreturn]] void worker_main(std::uint32_t p, int fd,
+                                const SuperstepPlan& plan);
+  void stop_worker(Worker& w) noexcept;
+  bool send_step(const Worker& w, std::uint32_t p, const SuperstepPlan& plan,
+                 std::uint64_t& bytes) noexcept;
+  bool recv_step(const Worker& w, std::uint32_t p, const SuperstepPlan& plan,
+                 std::uint64_t& msgs, std::uint64_t& bytes,
+                 std::string& fatal);
+
+  Launcher launcher_;
+  std::vector<Worker> workers_;
+  bool alive_ = false;       // workers_ hold live pids/fds
+  std::uint64_t epoch_ = 0;  // resident_epoch the pool was forked at
+  std::uint64_t spawns_ = 0;
+  std::uint64_t restarts_ = 0;
 };
 
 }  // namespace gdiam::mr

@@ -1,0 +1,166 @@
+#include "serve/graphs.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+#include "gen/basic.hpp"
+#include "gen/mesh.hpp"
+#include "gen/rmat.hpp"
+#include "gen/road.hpp"
+#include "gen/weights.hpp"
+#include "graph/io.hpp"
+#include "util/rng.hpp"
+
+namespace gdiam::serve {
+namespace {
+
+/// "gen:mesh:side=64:weights=uniform" -> {"mesh", {side: "64", ...}}.
+struct GenSpec {
+  std::string family;
+  std::map<std::string, std::string> params;
+
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = params.find(key);
+    return it != params.end() ? it->second : fallback;
+  }
+  [[nodiscard]] std::uint64_t num(const std::string& key,
+                                  std::uint64_t fallback) const {
+    const auto it = params.find(key);
+    if (it == params.end()) return fallback;
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(it->second, &used);
+    if (used != it->second.size()) {
+      throw std::invalid_argument("graph spec: bad number for '" + key +
+                                  "': " + it->second);
+    }
+    return v;
+  }
+};
+
+GenSpec parse_gen(const std::string& spec) {
+  GenSpec out;
+  std::size_t pos = 4;  // past "gen:"
+  while (pos <= spec.size()) {
+    const std::size_t sep = spec.find(':', pos);
+    const std::size_t end = sep == std::string::npos ? spec.size() : sep;
+    const std::string part = spec.substr(pos, end - pos);
+    if (part.empty()) throw std::invalid_argument("graph spec: empty segment");
+    if (out.family.empty()) {
+      out.family = part;
+    } else {
+      const std::size_t eq = part.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("graph spec: expected key=value, got '" +
+                                    part + "'");
+      }
+      out.params[part.substr(0, eq)] = part.substr(eq + 1);
+    }
+    if (sep == std::string::npos) break;
+    pos = sep + 1;
+  }
+  if (out.family.empty()) {
+    throw std::invalid_argument("graph spec: missing family after gen:");
+  }
+  return out;
+}
+
+Graph load_file(const std::string& path) {
+  if (path.ends_with(".gr")) return io::read_dimacs_file(path);
+  if (path.ends_with(".bin")) return io::read_binary_file(path);
+  return io::read_edge_list_file(path);
+}
+
+}  // namespace
+
+Graph make_graph(const std::string& spec) {
+  if (spec.starts_with("file:")) return load_file(spec.substr(5));
+  if (!spec.starts_with("gen:")) return load_file(spec);
+
+  const GenSpec gs = parse_gen(spec);
+  const std::uint64_t seed = gs.num("seed", 1);
+  util::Xoshiro256 rng(seed);
+  Graph g;
+  if (gs.family == "mesh") {
+    g = gen::mesh(static_cast<NodeId>(gs.num("side", 256)));
+  } else if (gs.family == "torus") {
+    g = gen::torus(static_cast<NodeId>(gs.num("side", 256)));
+  } else if (gs.family == "rmat") {
+    g = gen::rmat(static_cast<unsigned>(gs.num("scale", 16)),
+                  static_cast<EdgeIndex>(gs.num("edge-factor", 16)), rng);
+  } else if (gs.family == "road") {
+    const auto side = static_cast<NodeId>(gs.num("side", 256));
+    g = gen::road_network(side, side, rng);
+  } else if (gs.family == "gnm") {
+    g = gen::gnm(static_cast<NodeId>(gs.num("nodes", 10000)),
+                 static_cast<EdgeIndex>(gs.num("edges", 30000)), rng,
+                 /*ensure_connected=*/true);
+  } else if (gs.family == "path") {
+    g = gen::path(static_cast<NodeId>(gs.num("nodes", 10000)));
+  } else {
+    throw std::invalid_argument("graph spec: unknown family '" + gs.family +
+                                "'");
+  }
+
+  // Same weight kinds and seed derivation as `gdiam generate`, so a gen:
+  // spec reproduces a generated file bit for bit.
+  const std::string weights = gs.str("weights", "keep");
+  const std::uint64_t wseed = seed ^ 0xabcd;
+  if (weights == "keep") return g;
+  if (weights == "unit") return gen::unit_weights(g);
+  if (weights == "uniform") return gen::uniform_weights(g, wseed);
+  if (weights == "int") return gen::uniform_int_weights(g, 1, 1000, wseed);
+  if (weights == "bimodal") {
+    return gen::bimodal_weights(g, 1.0, 1e-6, 0.1, wseed);
+  }
+  throw std::invalid_argument("graph spec: unknown weights '" + weights + "'");
+}
+
+GraphStore::Entry& GraphStore::get(const std::string& spec) {
+  Entry* e = nullptr;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    auto& slot = entries_[spec];
+    if (slot == nullptr) {
+      slot = std::make_unique<Entry>();
+      slot->spec = spec;
+    }
+    e = slot.get();
+  }
+  // Load outside the store lock: a cold road network must not stall queries
+  // on other (hot) graphs. Racing loaders of one spec serialize on the
+  // entry's own mutex; losers find `loaded` set and return immediately.
+  const std::lock_guard<std::mutex> elk(e->mu);
+  if (!e->loaded) {
+    e->graph = make_graph(spec);  // a throw leaves the entry retryable
+    e->loaded = true;
+    const std::lock_guard<std::mutex> lk(mu_);
+    order_.push_back(e);
+  }
+  return *e;
+}
+
+std::vector<GraphStore::Snapshot> GraphStore::snapshot() {
+  std::vector<Entry*> loaded;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    loaded = order_;
+  }
+  std::vector<Snapshot> out;
+  out.reserve(loaded.size());
+  for (Entry* e : loaded) {
+    // graph is immutable once the entry reached order_; served is a racy
+    // monotonic counter by contract.
+    out.push_back({e->spec, e->graph.num_nodes(), e->graph.num_edges(),
+                   e->served.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+std::size_t GraphStore::size() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return order_.size();
+}
+
+}  // namespace gdiam::serve

@@ -1,0 +1,117 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/net.hpp"
+
+namespace gdiam::serve {
+
+namespace net = gdiam::util::net;
+
+std::string Message::get(const std::string& key,
+                         const std::string& fallback) const {
+  const std::string* found = nullptr;
+  for (const auto& [k, v] : fields) {
+    if (k == key) found = &v;
+  }
+  return found != nullptr ? *found : fallback;
+}
+
+bool Message::has(const std::string& key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+void Message::set(std::string key, std::string value) {
+  fields.emplace_back(std::move(key), std::move(value));
+}
+
+std::string encode(const Message& m) {
+  std::string out;
+  out.reserve(m.head.size() + m.body.size() + 16 * m.fields.size() + 4);
+  out += m.head;
+  out += '\n';
+  for (const auto& [k, v] : m.fields) {
+    out += k;
+    out += '=';
+    out += v;
+    out += '\n';
+  }
+  if (!m.body.empty()) {
+    out += '\n';
+    out += m.body;
+  }
+  return out;
+}
+
+Message decode(const std::string& payload) {
+  Message m;
+  std::size_t pos = payload.find('\n');
+  if (pos == std::string::npos) {
+    m.head = payload;
+    return m;
+  }
+  m.head = payload.substr(0, pos);
+  ++pos;
+  while (pos < payload.size()) {
+    const std::size_t eol = payload.find('\n', pos);
+    const std::size_t end = eol == std::string::npos ? payload.size() : eol;
+    if (end == pos) {  // blank separator: the rest is the body, verbatim
+      m.body = eol == std::string::npos ? "" : payload.substr(eol + 1);
+      return m;
+    }
+    const std::size_t eq = payload.find('=', pos);
+    if (eq == std::string::npos || eq >= end) {
+      throw std::invalid_argument("serve: malformed field line '" +
+                                  payload.substr(pos, end - pos) + "'");
+    }
+    m.fields.emplace_back(payload.substr(pos, eq - pos),
+                          payload.substr(eq + 1, end - eq - 1));
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return m;
+}
+
+bool read_message(int fd, Message& out) {
+  std::uint32_t len = 0;
+  if (!net::read_exact(fd, &len, sizeof len)) {
+    if (errno != 0) {
+      throw std::runtime_error(std::string("serve: read: ") +
+                               std::strerror(errno));
+    }
+    return false;  // clean EOF between frames
+  }
+  if (len > kMaxFrame) {
+    throw std::invalid_argument("serve: frame length " + std::to_string(len) +
+                                " exceeds limit");
+  }
+  std::string payload(len, '\0');
+  if (len != 0 && !net::read_exact(fd, payload.data(), len)) {
+    throw std::runtime_error("serve: truncated frame");
+  }
+  out = decode(payload);
+  return true;
+}
+
+void write_message(int fd, const Message& m) {
+  const std::string payload = encode(m);
+  if (payload.size() > kMaxFrame) {
+    throw std::invalid_argument("serve: payload exceeds frame limit");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(sizeof len + payload.size());
+  frame.append(reinterpret_cast<const char*>(&len), sizeof len);
+  frame += payload;
+  // One write per frame: concurrent responders interleave at frame
+  // granularity at worst (the server additionally serializes per
+  // connection), and a dead client surfaces as EPIPE, not SIGPIPE.
+  net::write_all(fd, frame.data(), frame.size());
+}
+
+}  // namespace gdiam::serve

@@ -1,0 +1,69 @@
+#pragma once
+// gdiamd wire protocol (DESIGN.md §10).
+//
+// Requests and responses are length-prefixed text frames over an AF_UNIX
+// stream socket:
+//
+//   [u32 length][payload]
+//
+// with the payload a plain-text message:
+//
+//   <head>\n            — request verb ("estimate", "sssp", "load", "stats",
+//                         "shutdown") or response status ("ok", "error")
+//   <key>=<value>\n ... — zero or more header fields, one per line
+//   \n                  — blank separator (only when a body follows)
+//   <body>              — free-form text, verbatim to the end of the frame
+//
+// Text because the payloads *are* text — the response body of an estimate
+// request is byte-for-byte the block the one-shot CLI prints, which is what
+// makes the CI smoke's daemon-vs-CLI diff trivial — and length-prefixed
+// because framing by delimiter would forbid bodies containing blank lines.
+// Field order is preserved (requests echo readably in logs), values must
+// not contain newlines, and a client-supplied `id` field is echoed verbatim
+// in the response so clients may pipeline requests on one connection.
+//
+// The u32 length is host-endian: both ends of an AF_UNIX socket are the
+// same machine by construction. Frames above kMaxFrame are rejected before
+// allocation — a garbage length must not look like a 4 GiB message.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gdiam::serve {
+
+/// Frames larger than this are a protocol error (the largest legitimate
+/// payload — a stats body enumerating every hot graph — is a few KiB).
+inline constexpr std::uint32_t kMaxFrame = 1u << 20;
+
+/// One decoded protocol message; see the header comment for the layout.
+struct Message {
+  std::string head;
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::string body;
+
+  /// Last value for `key`, or `fallback` when absent (last wins, so a
+  /// client can override a templated request by appending).
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const;
+  [[nodiscard]] bool has(const std::string& key) const;
+  void set(std::string key, std::string value);
+};
+
+/// Message -> payload text (no length prefix).
+[[nodiscard]] std::string encode(const Message& m);
+
+/// Payload text -> Message; throws std::invalid_argument on a field line
+/// without '='.
+[[nodiscard]] Message decode(const std::string& payload);
+
+/// Reads one frame. Returns false on clean EOF at a frame boundary; throws
+/// on truncated frames, oversized lengths, or socket errors.
+bool read_message(int fd, Message& out);
+
+/// Writes one frame (EINTR-safe, SIGPIPE-proof via util/net.hpp); throws on
+/// socket errors and on oversized payloads.
+void write_message(int fd, const Message& m);
+
+}  // namespace gdiam::serve

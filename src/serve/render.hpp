@@ -1,0 +1,35 @@
+#pragma once
+// Canonical text rendering of query results (DESIGN.md §10).
+//
+// The daemon's parity contract is textual: the body of an `estimate` or
+// `sssp` response must be byte-for-byte the block the one-shot CLI prints
+// for the same graph and options — that is what the CI smoke diffs and what
+// makes daemon output drop-in for scripts built around the CLI. The only
+// way to keep two printers identical forever is to have exactly one:
+// gdiam_cli and serve::Server both call these.
+//
+// Deliberately excluded: the CLI's `time:` / `run N` / `phases` lines —
+// wall-clock and context-cumulative detail that is meaningless to compare
+// across processes. Included: the `cost:` line, whose model-level counters
+// are transport- and serving-invariant by the repo's determinism contract
+// (its wire= component is transport-dependent; comparisons across different
+// transports filter it, see .github/workflows/ci.yml).
+
+#include <string>
+
+#include "core/diameter.hpp"
+#include "graph/graph.hpp"
+#include "sssp/delta_stepping.hpp"
+
+namespace gdiam::serve {
+
+/// The CL-DIAM result block: estimate / classic form / clusters / cost.
+[[nodiscard]] std::string render_estimate(const core::DiameterApproxResult& r,
+                                          std::uint32_t tau);
+
+/// The Δ-stepping result block: source / eccentricity / 2-approx diam /
+/// cost.
+[[nodiscard]] std::string render_sssp(NodeId source,
+                                      const sssp::DeltaSteppingResult& r);
+
+}  // namespace gdiam::serve

@@ -1,0 +1,379 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/cluster.hpp"
+#include "core/diameter.hpp"
+#include "serve/render.hpp"
+#include "sssp/delta_stepping.hpp"
+#include "util/net.hpp"
+
+namespace gdiam::serve {
+
+namespace net = gdiam::util::net;
+
+namespace {
+
+std::uint64_t field_u64(const Message& m, const std::string& key,
+                        std::uint64_t fallback) {
+  const std::string v = m.get(key);
+  if (v.empty()) return fallback;
+  std::size_t used = 0;
+  const unsigned long long parsed = std::stoull(v, &used);
+  if (used != v.size()) {
+    throw std::invalid_argument("bad value for '" + key + "': " + v);
+  }
+  return parsed;
+}
+
+std::uint32_t field_u32(const Message& m, const std::string& key,
+                        std::uint32_t fallback) {
+  const std::uint64_t v = field_u64(m, key, fallback);
+  if (v > 0xffffffffull) {
+    throw std::invalid_argument("value for '" + key + "' out of range");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+double field_double(const Message& m, const std::string& key,
+                    double fallback) {
+  const std::string v = m.get(key);
+  if (v.empty()) return fallback;
+  std::size_t used = 0;
+  const double parsed = std::stod(v, &used);
+  if (used != v.size()) {
+    throw std::invalid_argument("bad value for '" + key + "': " + v);
+  }
+  return parsed;
+}
+
+bool field_bool(const Message& m, const std::string& key, bool fallback) {
+  const std::string v = m.get(key);
+  if (v.empty()) return fallback;
+  if (v == "1" || v == "true") return true;
+  if (v == "0" || v == "false") return false;
+  throw std::invalid_argument("bad boolean for '" + key + "': " + v);
+}
+
+/// The shared execution fields, with the CLI's exact semantics and
+/// defaults: partitions (1), range-partition (hash), transport
+/// local|process|pool (processes=N alone implies process), adaptive (on).
+void apply_exec_fields(const Message& m, exec::ExecOptions& opt) {
+  opt.partition.num_partitions = field_u32(m, "partitions", 1);
+  if (opt.partition.num_partitions == 0) {
+    throw std::invalid_argument("partitions must be >= 1");
+  }
+  opt.partition.strategy = field_bool(m, "range-partition", false)
+                               ? mr::PartitionStrategy::kRange
+                               : mr::PartitionStrategy::kHash;
+  const std::string kind = m.get("transport");
+  if (!kind.empty() && kind != "local" && kind != "process" &&
+      kind != "pool") {
+    throw std::invalid_argument("transport must be local, process or pool");
+  }
+  if (kind == "process" || kind == "pool" || (kind.empty() && m.has("processes"))) {
+    opt.transport.kind = kind == "pool" ? mr::TransportKind::kPool
+                                        : mr::TransportKind::kProcess;
+    opt.transport.processes = field_u32(m, "processes", 2);
+    if (opt.transport.processes == 0) {
+      throw std::invalid_argument("processes must be >= 1");
+    }
+    if (opt.partition.num_partitions <= 1) {
+      throw std::invalid_argument(
+          "transport=process/pool requires partitions > 1");
+    }
+  }
+  opt.frontier.adaptive = field_bool(m, "adaptive", true);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  if (opts_.worker_threads == 0) opts_.worker_threads = 1;
+  if (opts_.max_batch == 0) opts_.max_batch = 1;
+}
+
+Server::~Server() {
+  try {
+    stop();
+  } catch (...) {  // a dtor must not throw; stop() is best-effort here
+  }
+}
+
+void Server::start() {
+  if (running_.load()) throw std::logic_error("server already started");
+  listen_fd_ = net::listen_unix(opts_.socket_path, /*backlog=*/64);
+  running_.store(true);
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(opts_.worker_threads);
+  for (std::uint32_t i = 0; i < opts_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Server::request_stop() {
+  if (stopping_.exchange(true)) return;
+  // Wake the accept thread (close the listener) and every reader (shut the
+  // read side; in-flight responses still go out on the write side).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    const std::lock_guard<std::mutex> lk(conns_mu_);
+    for (const auto& c : conns_) {
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RD);
+    }
+  }
+  qcv_.notify_all();
+  stop_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lk(stop_mu_);
+  stop_cv_.wait(lk, [this] { return stopping_.load(); });
+}
+
+void Server::stop() {
+  if (!running_.load()) return;
+  request_stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  for (auto& r : readers_) {
+    if (r.joinable()) r.join();
+  }
+  workers_.clear();
+  readers_.clear();
+  {
+    const std::lock_guard<std::mutex> lk(conns_mu_);
+    for (const auto& c : conns_) {
+      if (c->fd >= 0) ::close(c->fd);
+      c->fd = -1;
+    }
+    conns_.clear();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(opts_.socket_path.c_str());
+  running_.store(false);
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) break;
+      if (errno == EINTR) continue;
+      break;  // listener broken: no way to serve further clients
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      const std::lock_guard<std::mutex> lk(conns_mu_);
+      conns_.push_back(conn);
+    }
+    readers_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  Message req;
+  while (!stopping_.load()) {
+    try {
+      if (!read_message(conn->fd, req)) break;  // client hung up
+    } catch (const std::exception&) {
+      break;  // torn frame or dead socket: nothing sane to answer onto
+    }
+    // Control verbs are answered inline: they must respond even when every
+    // worker is pinned under a long estimate.
+    if (req.head == "stats") {
+      Message resp = handle_stats();
+      if (req.has("id")) resp.set("id", req.get("id"));
+      send_response(*conn, resp);
+      continue;
+    }
+    if (req.head == "shutdown") {
+      Message resp;
+      resp.head = "ok";
+      if (req.has("id")) resp.set("id", req.get("id"));
+      send_response(*conn, resp);
+      request_stop();
+      continue;  // the shutdown also shut our read side: next read EOFs
+    }
+    const std::string graph = req.get("graph");
+    if (req.head != "estimate" && req.head != "sssp" && req.head != "load") {
+      Message resp;
+      resp.head = "error";
+      resp.set("message", "unknown verb '" + req.head + "'");
+      if (req.has("id")) resp.set("id", req.get("id"));
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      send_response(*conn, resp);
+      continue;
+    }
+    if (graph.empty()) {
+      Message resp;
+      resp.head = "error";
+      resp.set("message", req.head + " requires a graph= field");
+      if (req.has("id")) resp.set("id", req.get("id"));
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      send_response(*conn, resp);
+      continue;
+    }
+    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lk(qmu_);
+      queue_.push_back(Request{conn, std::move(req), graph});
+    }
+    qcv_.notify_one();
+    req = Message{};
+  }
+}
+
+void Server::worker_loop() {
+  while (true) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lk(qmu_);
+      qcv_.wait(lk, [this] { return stopping_.load() || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and fully drained
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      // The batcher: pull every pending same-graph request (arrival order
+      // preserved — erase keeps the relative order of the rest).
+      for (auto it = queue_.begin();
+           it != queue_.end() && batch.size() < opts_.max_batch;) {
+        if (it->graph == batch.front().graph) {
+          batch.push_back(std::move(*it));
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    stats_.batches.fetch_add(1, std::memory_order_relaxed);
+    stats_.batched_requests.fetch_add(batch.size() - 1,
+                                      std::memory_order_relaxed);
+    serve_batch(batch);
+  }
+}
+
+void Server::serve_batch(std::vector<Request>& batch) {
+  GraphStore::Entry* entry = nullptr;
+  try {
+    entry = &store_.get(batch.front().graph);
+  } catch (const std::exception& e) {
+    for (Request& r : batch) {
+      Message resp;
+      resp.head = "error";
+      resp.set("message", e.what());
+      if (r.msg.has("id")) resp.set("id", r.msg.get("id"));
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      send_response(*r.conn, resp);
+    }
+    return;
+  }
+  // One lock acquisition for the whole batch: every request in it computes
+  // on the same warm context, back to back.
+  const std::lock_guard<std::mutex> lk(entry->mu);
+  for (Request& r : batch) {
+    Message resp;
+    try {
+      resp = handle_query(*entry, r.msg);
+    } catch (const std::exception& e) {
+      resp = Message{};
+      resp.head = "error";
+      resp.set("message", e.what());
+      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (r.msg.has("id")) resp.set("id", r.msg.get("id"));
+    send_response(*r.conn, resp);
+  }
+}
+
+Message Server::handle_query(GraphStore::Entry& entry, const Message& req) {
+  Message resp;
+  resp.head = "ok";
+  const Graph& g = entry.graph;
+  if (req.head == "load") {
+    resp.set("nodes", std::to_string(g.num_nodes()));
+    resp.set("edges", std::to_string(g.num_edges()));
+    return resp;
+  }
+  entry.served.fetch_add(1, std::memory_order_relaxed);
+  if (req.head == "estimate") {
+    core::DiameterApproxOptions opt;
+    opt.cluster.tau = field_u32(
+        req, "tau",
+        core::tau_for_cluster_target(g.num_nodes(), g.num_nodes() / 4));
+    opt.cluster.seed = field_u64(req, "seed", 1);
+    opt.use_cluster2 = field_bool(req, "cluster2", false);
+    opt.radius_aware = !field_bool(req, "classic", false);
+    apply_exec_fields(req, opt.cluster);
+    if (opt.cluster.partition.num_partitions > 1) {
+      opt.cluster.policy = core::GrowingPolicy::kPartitioned;
+    }
+    const core::DiameterApproxResult r =
+        core::approximate_diameter(g, opt, &entry.ctx);
+    resp.body = render_estimate(r, opt.cluster.tau);
+    return resp;
+  }
+  if (req.head == "sssp") {
+    sssp::DeltaSteppingOptions opt;
+    opt.delta = field_double(req, "delta", 0.0);
+    apply_exec_fields(req, opt);
+    const auto source = field_u32(req, "source", 0);
+    if (source >= g.num_nodes()) {
+      throw std::invalid_argument("source " + std::to_string(source) +
+                                  " out of range (n=" +
+                                  std::to_string(g.num_nodes()) + ")");
+    }
+    const sssp::DeltaSteppingResult r =
+        sssp::delta_stepping(g, source, opt, &entry.ctx);
+    resp.body = render_sssp(source, r);
+    return resp;
+  }
+  throw std::invalid_argument("unknown verb '" + req.head + "'");
+}
+
+Message Server::handle_stats() {
+  Message resp;
+  resp.head = "ok";
+  resp.set("connections", std::to_string(stats_.connections.load()));
+  resp.set("requests", std::to_string(stats_.requests.load()));
+  resp.set("errors", std::to_string(stats_.errors.load()));
+  resp.set("batches", std::to_string(stats_.batches.load()));
+  resp.set("batched", std::to_string(stats_.batched_requests.load()));
+  std::string body;
+  for (const GraphStore::Snapshot& s : store_.snapshot()) {
+    body += s.spec + "  n=" + std::to_string(s.nodes) +
+            " m=" + std::to_string(s.edges) +
+            " served=" + std::to_string(s.served) + "\n";
+  }
+  resp.set("graphs", std::to_string(store_.size()));
+  resp.body = std::move(body);
+  return resp;
+}
+
+void Server::send_response(Connection& conn, const Message& resp) {
+  const std::lock_guard<std::mutex> lk(conn.write_mu);
+  try {
+    write_message(conn.fd, resp);
+  } catch (const std::exception&) {
+    // Client is gone; its reader will notice on the next read. A serving
+    // daemon never dies because one client hung up mid-response.
+  }
+}
+
+}  // namespace gdiam::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -177,6 +178,33 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
   // lowerings are staged as loopback records and replayed — in the identical
   // order — by the apply phase (DESIGN.md §9).
   const bool remote = bsp != nullptr && bsp->remote_compute();
+  // Resident workers (PoolTransport) are forked once and keep the closures
+  // below frozen; the per-phase inputs they need — the frontier pairs routed
+  // to their shards and the phase's edge class — are shipped through the
+  // StepInputCodec into stable RoundBuffers storage instead. Everything else
+  // compute reads (partition slice, presplit layout, Δ) is fixed for the
+  // whole run, so the fork-time snapshot stays valid and the codec epoch is
+  // constant.
+  const bool resident = bsp != nullptr && bsp->resident_compute();
+  mr::StepInputCodec pool_codec;
+  if (resident) {
+    // Input frame, per shard: [u8 edge_kind][(NodeId, Weight) pairs...].
+    pool_codec.encode = [&rb](mr::ShardId s, std::vector<std::byte>& buf) {
+      buf.push_back(static_cast<std::byte>(rb.pool_kind));
+      const auto& pairs = rb.by_shard[s];
+      const auto* p = reinterpret_cast<const std::byte*>(pairs.data());
+      buf.insert(buf.end(), p, p + pairs.size() * sizeof(pairs[0]));
+    };
+    pool_codec.decode = [&rb](mr::ShardId s, const std::byte* p,
+                              std::size_t len) {
+      rb.pool_kind = static_cast<std::uint8_t>(p[0]);
+      ++p;
+      --len;
+      auto& pairs = rb.by_shard[s];
+      pairs.resize(len / sizeof(pairs[0]));
+      if (len != 0) std::memcpy(pairs.data(), p, len);
+    };
+  }
 
   // Δ-presplit adjacency (graph/split_csr.hpp): one O(m) light-first reorder,
   // cached in the context so equal-Δ repetitions (sweeps) presplit once. The
@@ -258,6 +286,9 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
   auto relax_bsp = [&](const std::vector<std::pair<NodeId, Weight>>& frontier,
                        EdgeKind kind) -> const std::vector<NodeId>& {
     const std::uint32_t k = part->num_partitions();
+    // Stable-slot copy of the phase's edge class: compute reads it from
+    // RoundBuffers so a resident worker sees the value the codec shipped.
+    rb.pool_kind = static_cast<std::uint8_t>(kind);
     for (std::uint32_t s = 0; s < k; ++s) {
       rb.by_shard[s].clear();
       rb.shard_messages[s] = 0;
@@ -288,6 +319,10 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
 
     auto compute = [&](const mr::Shard& sh, mr::Exchange<DistProposal>& ex) {
       std::uint64_t messages = 0;
+      // Read the edge class from its stable RoundBuffers slot, not the
+      // enclosing frame: a resident pool worker's copy of this closure is
+      // frozen at fork time, and only rb is refreshed by decode_input.
+      const auto ck = static_cast<EdgeKind>(rb.pool_kind);
       // With presplit, iterate only the [light | heavy] half of the shard's
       // permuted segment; otherwise branch-filter the original shard CSR.
       const CsrSplit* ss =
@@ -301,11 +336,11 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
         EdgeIndex lo = sh.offsets[l];
         EdgeIndex hi = sh.offsets[l + 1];
         if (ss != nullptr) {
-          (kind == EdgeKind::kLight ? hi : lo) = ss->split[l];
+          (ck == EdgeKind::kLight ? hi : lo) = ss->split[l];
         }
         for (EdgeIndex i = lo; i < hi; ++i) {
           const Weight w = wt[i];
-          if (ss == nullptr && (kind == EdgeKind::kLight) != (w <= delta)) {
+          if (ss == nullptr && (ck == EdgeKind::kLight) != (w <= delta)) {
             continue;
           }
           ++messages;
@@ -335,7 +370,8 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
       }
     };
     bsp->superstep(rb.exchange, compute, apply, &out.stats,
-                   std::span<std::uint64_t>(rb.shard_messages.data(), k));
+                   std::span<std::uint64_t>(rb.shard_messages.data(), k),
+                   resident ? &pool_codec : nullptr);
 
     for (std::uint32_t s = 0; s < k; ++s) {
       out.stats.messages += rb.shard_messages[s];

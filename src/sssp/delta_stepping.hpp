@@ -100,6 +100,11 @@ struct RoundBuffers {
   std::vector<std::uint64_t> shard_updates;
   std::vector<std::vector<NodeId>> shard_improved;
   std::vector<NodeId> changed;
+  /// Resident-worker (PoolTransport) input slot: the edge class of the
+  /// current relaxation phase. Lives here — stable heap address — so a pool
+  /// worker's frozen compute closure reads the value decode_input just
+  /// shipped, not the stale fork-time copy of a stack variable.
+  std::uint8_t pool_kind = 0;
 
   /// Rebinds the pool to an n-vertex run, keeping every buffer's capacity.
   void reset(NodeId n, const core::FrontierOptions& opts);

@@ -1,0 +1,178 @@
+#include "util/net.hpp"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace gdiam::util::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void sleep_ms(int ms) noexcept {
+  timespec ts{ms / 1000, static_cast<long>(ms % 1000) * 1000000L};
+  ::nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+bool write_all(int fd, const void* data, std::size_t len) noexcept {
+  const char* p = static_cast<const char*>(data);
+  bool use_send = true;  // downgraded once if fd is not a socket
+  while (len > 0) {
+    ssize_t n;
+    if (use_send) {
+      n = ::send(fd, p, len, MSG_NOSIGNAL);
+      if (n < 0 && errno == ENOTSOCK) {
+        use_send = false;  // pipe or regular fd; caller must mask SIGPIPE
+        continue;
+      }
+    } else {
+      n = ::write(fd, p, len);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_exact(int fd, void* data, std::size_t len) noexcept {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) {  // EOF mid-frame: peer is gone
+      errno = 0;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::vector<std::byte> read_to_eof(int fd) {
+  std::vector<std::byte> out;
+  std::byte buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    if (n == 0) return out;
+    out.insert(out.end(), buf, buf + n);
+  }
+}
+
+bool write_u64(int fd, std::uint64_t v) noexcept {
+  return write_all(fd, &v, sizeof v);
+}
+
+bool read_u64(int fd, std::uint64_t& v) noexcept {
+  return read_exact(fd, &v, sizeof v);
+}
+
+void append_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof v);
+}
+
+int ReapResult::exit_code() const noexcept {
+  if (!reaped || sigkilled) return -1;
+  if (!WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+ReapResult reap_child(pid_t pid, int timeout_ms) noexcept {
+  ReapResult out;
+  int waited = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &out.status, WNOHANG);
+    if (r == pid) {
+      out.reaped = true;
+      return out;
+    }
+    if (r < 0 && errno != EINTR) return out;  // ECHILD: already reaped
+    if (waited >= timeout_ms) break;
+    // Coarse 1ms poll: teardown is rare and the common case (child already
+    // exited) never sleeps at all.
+    sleep_ms(1);
+    waited += 1;
+  }
+  // Deadline expired: the child is wedged. Kill it and reap the corpse —
+  // SIGKILL cannot be ignored, so this final wait is bounded in practice.
+  out.sigkilled = true;
+  ::kill(pid, SIGKILL);
+  pid_t r;
+  do {
+    r = ::waitpid(pid, &out.status, 0);
+  } while (r < 0 && errno == EINTR);
+  out.reaped = (r == pid);
+  return out;
+}
+
+int listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  ::unlink(path.c_str());  // stale socket from a previous run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    throw_errno("bind " + path);
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    throw_errno("listen " + path);
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int e = errno;
+    ::close(fd);
+    errno = e;
+    throw_errno("connect " + path);
+  }
+  return fd;
+}
+
+}  // namespace gdiam::util::net

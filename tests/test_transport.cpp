@@ -3,14 +3,21 @@
 // row (de)serialization, ProcessTransport superstep semantics, and — the
 // load-bearing part — bit-identical parity of the whole partitioned stack
 // (Δ-stepping distances, CLUSTER labels, CL-DIAM estimates, every
-// model-level RoundStats counter) between LocalTransport and
-// ProcessTransport for every graph family, K ∈ {2, 4} and P ∈ {1, 2}, with
-// the wire counters nonzero exactly under the process transport.
+// model-level RoundStats counter) between LocalTransport, ProcessTransport
+// and the resident-worker PoolTransport for every graph family, K ∈ {2, 4}
+// and P ∈ {1, 2}, with the wire counters nonzero exactly under the remote
+// transports. The pool additionally pins its lifecycle contract: one spawn
+// wave per resident epoch, per-superstep inputs crossing the socket, and a
+// SIGKILLed worker restarted mid-run with bit-identical results.
 
 #include <gtest/gtest.h>
 
+#include <csignal>
+#include <sys/types.h>
+
 #include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <span>
 #include <string>
 #include <tuple>
@@ -18,6 +25,7 @@
 
 #include "core/cluster.hpp"
 #include "core/diameter.hpp"
+#include "core/growing.hpp"
 #include "mr/bsp_engine.hpp"
 #include "mr/exchange.hpp"
 #include "mr/partition.hpp"
@@ -32,6 +40,10 @@ using test::Family;
 
 TransportOptions process_opts(std::uint32_t p) {
   return {.kind = TransportKind::kProcess, .processes = p};
+}
+
+TransportOptions pool_opts(std::uint32_t p) {
+  return {.kind = TransportKind::kPool, .processes = p};
 }
 
 /// The model-level view of a RoundStats: wire counters zeroed. Everything
@@ -82,7 +94,12 @@ TEST(Launcher, MakeTransportSelectsKind) {
   EXPECT_EQ(local->processes(), 1u);
   const auto proc = Launcher::make_transport(process_opts(2), 4);
   EXPECT_TRUE(proc->remote_compute());
+  EXPECT_FALSE(proc->resident_workers());
   EXPECT_EQ(proc->processes(), 2u);
+  const auto pool = Launcher::make_transport(pool_opts(2), 4);
+  EXPECT_TRUE(pool->remote_compute());
+  EXPECT_TRUE(pool->resident_workers());
+  EXPECT_EQ(pool->processes(), 2u);
 }
 
 // ---------------------------------------------------------------------------
@@ -218,6 +235,110 @@ INSTANTIATE_TEST_SUITE_P(Processes, ProcessSuperstep,
                          });
 
 // ---------------------------------------------------------------------------
+// PoolTransport superstep semantics: resident workers, shipped inputs
+
+// Workers fork once, then run three supersteps whose input changes every
+// step — the codec must carry it across (the frozen compute closure would
+// otherwise see the fork-time values forever). A codec epoch bump must
+// trigger exactly one fresh spawn wave.
+TEST(PoolSuperstep, ResidentWorkersReceivePerStepInputs) {
+  const Graph g = gen::path(40);
+  const Partition part(
+      g, {.num_partitions = 4, .strategy = PartitionStrategy::kRange});
+  const std::uint32_t k = part.num_partitions();
+
+  PoolTransport pool((Launcher(k, 2)));
+  BspEngine engine(part, &pool);
+  Exchange<std::uint64_t> ex(k);
+  // The shipped per-step input. Allocated before the first superstep so its
+  // address is stable at fork time: the worker's decode writes through it.
+  std::vector<std::uint64_t> step_value(k, 0);
+  StepInputCodec codec;
+  codec.encode = [&step_value](ShardId s, std::vector<std::byte>& buf) {
+    const auto* p = reinterpret_cast<const std::byte*>(&step_value[s]);
+    buf.insert(buf.end(), p, p + sizeof(std::uint64_t));
+  };
+  codec.decode = [&step_value](ShardId s, const std::byte* p, std::size_t) {
+    std::memcpy(&step_value[s], p, sizeof(std::uint64_t));
+  };
+  codec.epoch = 1;
+
+  std::vector<std::uint64_t> counters(k, 0);
+  std::vector<std::vector<std::uint64_t>> inboxes(k);
+  auto compute = [&](const Shard& sh, Exchange<std::uint64_t>& out) {
+    out.loopback(sh.id, step_value[sh.id]);
+    out.send(sh.id, (sh.id + 1) % k, step_value[sh.id] * 10);
+    counters[sh.id] = step_value[sh.id] + 1;
+  };
+  auto apply = [&](const Shard& sh, std::span<const std::uint64_t> inbox) {
+    inboxes[sh.id].assign(inbox.begin(), inbox.end());
+  };
+
+  for (std::uint64_t round = 1; round <= 3; ++round) {
+    for (ShardId s = 0; s < k; ++s) step_value[s] = round * 100 + s;
+    const ExchangeCounters c = engine.superstep(
+        ex, compute, apply, nullptr,
+        std::span<std::uint64_t>(counters.data(), k), &codec);
+    EXPECT_GT(c.wire_bytes, 0u);
+    for (ShardId s = 0; s < k; ++s) {
+      ASSERT_EQ(inboxes[s].size(), 2u) << "round " << round;
+      // Loopback first, then the ring message — both carrying THIS round's
+      // value, proving the input crossed into the resident worker.
+      EXPECT_EQ(inboxes[s][0], round * 100 + s);
+      EXPECT_EQ(inboxes[s][1], (round * 100 + (s + k - 1) % k) * 10);
+      EXPECT_EQ(counters[s], round * 100 + s + 1);  // shipped back by wire
+    }
+  }
+  EXPECT_EQ(pool.spawns(), 2u);  // one wave of two workers, resident since
+  EXPECT_EQ(pool.restarts(), 0u);
+
+  // Epoch bump = "fork-time resident state mutated": fresh snapshot wave.
+  codec.epoch = 2;
+  for (ShardId s = 0; s < k; ++s) step_value[s] = 777 + s;
+  engine.superstep(ex, compute, apply, nullptr,
+                   std::span<std::uint64_t>(counters.data(), k), &codec);
+  for (ShardId s = 0; s < k; ++s) {
+    ASSERT_EQ(inboxes[s].size(), 2u);
+    EXPECT_EQ(inboxes[s][0], 777u + s);
+  }
+  EXPECT_EQ(pool.spawns(), 4u);
+  EXPECT_EQ(pool.restarts(), 0u);
+  pool.shutdown();
+  EXPECT_EQ(pool.spawns(), 4u);  // shutdown is not a spawn
+}
+
+// A codec-less plan must still be correct under the pool: the transport
+// falls back to a respawn per superstep (ProcessTransport semantics).
+TEST(PoolSuperstep, NoCodecFallsBackToRespawnPerSuperstep) {
+  const Graph g = gen::path(24);
+  const Partition part(
+      g, {.num_partitions = 3, .strategy = PartitionStrategy::kRange});
+  const std::uint32_t k = part.num_partitions();
+
+  PoolTransport pool((Launcher(k, 3)));
+  BspEngine engine(part, &pool);
+  Exchange<std::uint64_t> ex(k);
+  std::uint64_t round = 0;
+  std::vector<std::vector<std::uint64_t>> inboxes(k);
+  for (round = 1; round <= 2; ++round) {
+    engine.superstep(
+        ex,
+        [&](const Shard& sh, Exchange<std::uint64_t>& out) {
+          out.send(sh.id, (sh.id + 1) % k, round * 10 + sh.id);
+        },
+        [&](const Shard& sh, std::span<const std::uint64_t> inbox) {
+          inboxes[sh.id].assign(inbox.begin(), inbox.end());
+        });
+    for (ShardId s = 0; s < k; ++s) {
+      ASSERT_EQ(inboxes[s].size(), 1u);
+      // Fresh fork each step, so `round` is current even without a codec.
+      EXPECT_EQ(inboxes[s][0], round * 10 + (s + k - 1) % k);
+    }
+  }
+  EXPECT_EQ(pool.spawns(), 2u * k);  // one wave per superstep
+}
+
+// ---------------------------------------------------------------------------
 // Whole-stack parity: LocalTransport vs ProcessTransport
 
 class TransportParity
@@ -244,6 +365,16 @@ TEST_P(TransportParity, DeltaSteppingBitIdentical) {
   EXPECT_EQ(local.processes_used, 1u);
   EXPECT_EQ(proc.processes_used, p);
   EXPECT_GT(proc.stats.wire_bytes, 0u);  // compute genuinely ran elsewhere
+
+  opts.transport = pool_opts(p);
+  const sssp::DeltaSteppingResult pool = sssp::delta_stepping(g, 0, opts);
+  EXPECT_EQ(pool.dist, local.dist);
+  EXPECT_EQ(pool.eccentricity, local.eccentricity);
+  EXPECT_EQ(pool.farthest, local.farthest);
+  EXPECT_EQ(pool.buckets_processed, local.buckets_processed);
+  EXPECT_EQ(zero_wire(pool.stats), zero_wire(local.stats));
+  EXPECT_EQ(pool.processes_used, p);
+  EXPECT_GT(pool.stats.wire_bytes, 0u);
 }
 
 TEST_P(TransportParity, ClusterLabelsAndStatsBitIdentical) {
@@ -269,6 +400,15 @@ TEST_P(TransportParity, ClusterLabelsAndStatsBitIdentical) {
   EXPECT_EQ(zero_wire(proc.stats), zero_wire(local.stats));
   EXPECT_EQ(local.stats.wire_bytes, 0u);
   EXPECT_GT(proc.stats.wire_bytes, 0u);
+
+  opts.transport = pool_opts(p);
+  const core::Clustering pool = core::cluster(g, opts);
+  EXPECT_EQ(pool.center_of, local.center_of);
+  EXPECT_EQ(pool.dist_to_center, local.dist_to_center);
+  EXPECT_EQ(pool.centers, local.centers);
+  EXPECT_EQ(pool.radius, local.radius);
+  EXPECT_EQ(zero_wire(pool.stats), zero_wire(local.stats));
+  EXPECT_GT(pool.stats.wire_bytes, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -295,6 +435,11 @@ TEST(TransportParity, NonAdaptiveBaselineBitIdentical) {
   EXPECT_EQ(dp.dist, dl.dist);
   EXPECT_EQ(zero_wire(dp.stats), zero_wire(dl.stats));
   EXPECT_GT(dp.stats.wire_bytes, 0u);
+  dopts.transport = pool_opts(2);
+  const sssp::DeltaSteppingResult dpool = sssp::delta_stepping(g, 0, dopts);
+  EXPECT_EQ(dpool.dist, dl.dist);
+  EXPECT_EQ(zero_wire(dpool.stats), zero_wire(dl.stats));
+  EXPECT_GT(dpool.stats.wire_bytes, 0u);
 
   core::ClusterOptions copts;
   copts.tau = 2;
@@ -308,6 +453,11 @@ TEST(TransportParity, NonAdaptiveBaselineBitIdentical) {
   EXPECT_EQ(cp.center_of, cl.center_of);
   EXPECT_EQ(zero_wire(cp.stats), zero_wire(cl.stats));
   EXPECT_GT(cp.stats.wire_bytes, 0u);
+  copts.transport = pool_opts(2);
+  const core::Clustering cpool = core::cluster(g, copts);
+  EXPECT_EQ(cpool.center_of, cl.center_of);
+  EXPECT_EQ(zero_wire(cpool.stats), zero_wire(cl.stats));
+  EXPECT_GT(cpool.stats.wire_bytes, 0u);
 }
 
 // The acceptance-criterion pipeline: CL-DIAM end to end, multi-process,
@@ -334,7 +484,75 @@ TEST(TransportParity, DiameterPipelineBitIdentical) {
     EXPECT_EQ(zero_wire(proc.stats), zero_wire(local.stats));
     EXPECT_EQ(local.stats.wire_bytes, 0u);
     EXPECT_GT(proc.stats.wire_bytes, 0u) << test::family_name(family);
+
+    opts.cluster.transport = pool_opts(2);
+    const core::DiameterApproxResult pool = core::approximate_diameter(g, opts);
+    EXPECT_EQ(pool.estimate, local.estimate) << test::family_name(family);
+    EXPECT_EQ(pool.estimate_classic, local.estimate_classic);
+    EXPECT_EQ(pool.quotient_diam, local.quotient_diam);
+    EXPECT_EQ(pool.radius, local.radius);
+    EXPECT_EQ(pool.clustering.center_of, local.clustering.center_of);
+    EXPECT_EQ(zero_wire(pool.stats), zero_wire(local.stats));
+    EXPECT_GT(pool.stats.wire_bytes, 0u) << test::family_name(family);
   }
+}
+
+// ---------------------------------------------------------------------------
+// PoolTransport fault handling: a worker SIGKILLed mid-run is restarted by
+// the launcher and the retried superstep is bit-identical — proposals are a
+// pure function of (resident snapshot, shipped inputs), so replaying a
+// group's compute from a fresh fork reproduces exactly the lost rows.
+
+TEST(PoolFaultHandling, KilledWorkerIsRestartedBitIdentical) {
+  const Graph g = test::make_family(Family::kGnmUniform, 200, 13);
+  const Weight delta = 2.0 * g.avg_weight();
+  const mr::PartitionOptions popts{.num_partitions = 4,
+                                   .strategy = PartitionStrategy::kHash};
+  const core::GrowingStepParams params{.light_threshold = delta,
+                                       .uniform_budget = delta};
+
+  auto seed = [&](core::GrowingEngine& e) {
+    e.set_source(0, 0);
+    e.set_source(g.num_nodes() / 2, g.num_nodes() / 2);
+    e.rebuild_frontier(params);
+  };
+
+  // Reference: the same growth to fixpoint on the in-process transport.
+  core::GrowingEngine ref(g, core::GrowingPolicy::kPartitioned, popts);
+  seed(ref);
+  std::vector<std::uint64_t> ref_updates;
+  for (int step = 0; step < 64; ++step) {
+    const auto r = ref.step(params);
+    ref_updates.push_back(r.updates);
+    if (r.updates == 0) break;
+  }
+
+  core::GrowingEngine eng(g, core::GrowingPolicy::kPartitioned, popts);
+  eng.set_transport_options(pool_opts(2));
+  seed(eng);
+  auto* pool = dynamic_cast<PoolTransport*>(eng.transport());
+  ASSERT_NE(pool, nullptr);
+
+  std::vector<std::uint64_t> pool_updates;
+  bool killed = false;
+  for (int step = 0; step < 64; ++step) {
+    const auto r = eng.step(params);
+    pool_updates.push_back(r.updates);
+    if (r.updates == 0) break;
+    if (!killed && step == 1) {
+      // Workers are resident between steps (no reset/block/Δ-change here, so
+      // the epoch is stable and no respawn masks the crash path): the pid is
+      // valid and the NEXT superstep must hit the dead socket and recover.
+      const pid_t victim = pool->worker_pid(0);
+      ASSERT_GT(victim, 0);
+      ASSERT_EQ(kill(victim, SIGKILL), 0);
+      killed = true;
+    }
+  }
+  ASSERT_TRUE(killed) << "growth fixpointed before the fault was injected";
+  EXPECT_GE(pool->restarts(), 1u);  // the launcher replaced the dead worker
+  EXPECT_EQ(eng.labels(), ref.labels());
+  EXPECT_EQ(pool_updates, ref_updates);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 
 #include "analysis/hop.hpp"
 #include "gdiam.hpp"
+#include "serve/render.hpp"
 
 namespace {
 
@@ -37,12 +38,12 @@ commands:
   stats    FILE [--sweeps K]
   estimate FILE [--tau T] [--seed S] [--cluster2] [--classic] [--pull]
            [--partitions K] [--range-partition] [--no-adaptive]
-           [--transport local|process] [--processes P]
+           [--transport local|process|pool] [--processes P]
            [--repeat N] [--reuse-context | --no-reuse-context]
   decompose FILE --out CLUSTERING.gdcl [--tau T] [--seed S]
             [--quotient QUOTIENT_GRAPH_FILE]
   sssp     FILE [--source U] [--delta D] [--partitions K] [--range-partition]
-           [--no-adaptive] [--transport local|process] [--processes P]
+           [--no-adaptive] [--transport local|process|pool] [--processes P]
            [--repeat N] [--reuse-context | --no-reuse-context]
   convert  IN OUT
 
@@ -54,7 +55,9 @@ communication volume alongside rounds and work.
 out over P forked worker processes exchanging messages over Unix-domain
 sockets: results are bit-identical to the in-process transport, and the cost
 line gains the genuinely-crossed wire=.../... traffic. Requires
---partitions K > 1.
+--partitions K > 1. --transport pool keeps those P workers resident across
+supersteps (fork once, ship per-step inputs over persistent sockets) — the
+serving configuration gdiamd runs hot graphs on; results stay bit-identical.
 
 --no-adaptive disables the adaptive sparse/dense frontier engine and runs
 the legacy full-scan round paths (A/B baseline; results are identical, the
@@ -100,24 +103,26 @@ mr::PartitionOptions parse_partition(const util::Options& o) {
 }
 
 /// Shared --transport / --processes parsing (estimate and sssp). --processes
-/// alone implies the process transport; the multi-process backend only
-/// exists behind the BSP engine, so it requires --partitions K > 1.
+/// alone implies the process transport; the multi-process backends only
+/// exist behind the BSP engine, so they require --partitions K > 1.
 mr::TransportOptions parse_transport(const util::Options& o,
                                      const mr::PartitionOptions& p) {
   mr::TransportOptions t;
   const std::string kind = o.get_string("transport", "");
-  if (!kind.empty() && kind != "local" && kind != "process") {
-    usage("--transport must be local or process");
+  if (!kind.empty() && kind != "local" && kind != "process" &&
+      kind != "pool") {
+    usage("--transport must be local, process or pool");
   }
   if (kind == "local" && o.has("processes")) {
     usage("--transport local and --processes conflict");
   }
-  if (kind == "process" || o.has("processes")) {
-    t.kind = mr::TransportKind::kProcess;
+  if (kind == "process" || kind == "pool" || o.has("processes")) {
+    t.kind = kind == "pool" ? mr::TransportKind::kPool
+                            : mr::TransportKind::kProcess;
     t.processes = o.get_uint32("processes", 2);
     if (t.processes == 0) usage("--processes must be >= 1");
     if (p.num_partitions <= 1) {
-      usage("--transport process / --processes requires --partitions K > 1");
+      usage("--transport process/pool / --processes requires --partitions K > 1");
     }
   }
   return t;
@@ -268,13 +273,9 @@ int cmd_estimate(const util::Options& o) {
                   rep.reuse_context ? "reused" : "fresh");
     }
   }
-  std::printf("estimate:      %.6g%s\n", r.estimate,
-              r.quotient_exact ? " (conservative upper bound)" : "");
-  std::printf("classic form:  %.6g  (Phi(G_C)=%.6g + 2R, R=%.6g)\n",
-              r.estimate_classic, r.quotient_diam, r.radius);
-  std::printf("clusters:      %u (tau=%u)\n", r.num_clusters,
-              opt.cluster.tau);
-  std::printf("cost:          %s\n", mr::to_string(r.stats).c_str());
+  // The result block renders through serve/render.hpp — the same function
+  // the gdiamd daemon uses — so one-shot and served outputs diff cleanly.
+  std::fputs(serve::render_estimate(r, opt.cluster.tau).c_str(), stdout);
   if (rep.reuse_context) print_phase_stats(shared_ctx, rep.repeat);
   std::printf("time:          %s\n",
               util::format_duration(total.seconds()).c_str());
@@ -334,12 +335,8 @@ int cmd_sssp(const util::Options& o) {
                   rep.reuse_context ? "reused" : "fresh");
     }
   }
-  std::printf("source:        %u (Delta=%g, partitions=%u, processes=%u)\n",
-              source, r.delta_used, r.partitions_used, r.processes_used);
-  std::printf("eccentricity:  %.6g (farthest node %u)\n", r.eccentricity,
-              r.farthest);
-  std::printf("2-approx diam: %.6g\n", 2.0 * r.eccentricity);
-  std::printf("cost:          %s\n", mr::to_string(r.stats).c_str());
+  // Same shared renderer as the daemon (see cmd_estimate).
+  std::fputs(serve::render_sssp(source, r).c_str(), stdout);
   std::printf("time:          %s\n",
               util::format_duration(total.seconds()).c_str());
   return 0;
