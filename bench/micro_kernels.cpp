@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <cmath>
+
 #include "core/cluster.hpp"
 #include "core/diameter.hpp"
 #include "core/frontier.hpp"
@@ -17,8 +20,8 @@
 #include "graph/components.hpp"
 #include "graph/split_csr.hpp"
 #include "report.hpp"
-#include "sssp/delta_stepping.hpp"
 #include "sssp/dijkstra.hpp"
+#include "sssp/rho_stepping.hpp"
 #include "util/bitpack.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -255,6 +258,99 @@ void BM_DeltaSteppingRmatBaseline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DeltaSteppingRmatBaseline)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// ρ-vs-Δ whole-run A/B (sssp/rho_stepping.hpp): the same two families, same
+// shared-context setup as the BM_DeltaStepping{Road,Rmat} runs above, so
+// the JSON ratio isolates the kernel policy — bucket-by-distance vs
+// batch-by-work. Road (high diameter: Δ pays rounds ∝ diameter/Δ) is where
+// ρ-stepping is expected to win; rmat (low diameter) is the guard rail.
+
+void BM_RhoSteppingRoad(benchmark::State& state) {
+  const Graph& g = road_graph();
+  sssp::DeltaSteppingOptions o;
+  o.algorithm = exec::Algorithm::kRhoStepping;
+  exec::Context ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::rho_stepping(g, 0, o, &ctx));
+  }
+}
+BENCHMARK(BM_RhoSteppingRoad)->Unit(benchmark::kMillisecond);
+
+void BM_RhoSteppingRmat(benchmark::State& state) {
+  const Graph& g = rmat_graph();
+  sssp::DeltaSteppingOptions o;
+  o.algorithm = exec::Algorithm::kRhoStepping;
+  exec::Context ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::rho_stepping(g, 0, o, &ctx));
+  }
+}
+BENCHMARK(BM_RhoSteppingRmat)->Unit(benchmark::kMillisecond);
+
+// Sampled-vs-exact frontier sizing, whole-run: the same Δ-stepping runs with
+// FrontierOptions::sampled_size_estimate on — every dense advance() decides
+// its representation from ~1024 probes (noise-margin guarded) instead of the
+// exact sealed size. Distances are identical; the ratio tracks what the
+// policy swap costs/saves end to end per family.
+void BM_DeltaSteppingRoadSampled(benchmark::State& state) {
+  const Graph& g = road_graph();
+  sssp::DeltaSteppingOptions o;
+  o.frontier.sampled_size_estimate = true;
+  exec::Context ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::delta_stepping(g, 0, o, &ctx));
+  }
+}
+BENCHMARK(BM_DeltaSteppingRoadSampled)->Unit(benchmark::kMillisecond);
+
+void BM_DeltaSteppingRmatSampled(benchmark::State& state) {
+  const Graph& g = rmat_graph();
+  sssp::DeltaSteppingOptions o;
+  o.frontier.sampled_size_estimate = true;
+  exec::Context ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sssp::delta_stepping(g, 0, o, &ctx));
+  }
+}
+BENCHMARK(BM_DeltaSteppingRmatSampled)->Unit(benchmark::kMillisecond);
+
+// The size-query primitive in isolation: exact popcount scan of a dense
+// bitmap vs ~1024 probes — the asymptotic claim behind sampled sizing
+// (O(n/64) vs O(probes), independent of n).
+constexpr gdiam::NodeId kSizeBenchNodes = 1u << 22;
+
+void BM_FrontierSizeExact(benchmark::State& state) {
+  std::vector<std::uint64_t> bits(kSizeBenchNodes / 64);
+  util::Xoshiro256 rng(21);
+  for (auto& w : bits) w = rng.next() & rng.next();  // ~25% occupancy
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for (const std::uint64_t w : bits) {
+      count += static_cast<std::size_t>(std::popcount(w));
+    }
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_FrontierSizeExact)->Unit(benchmark::kMicrosecond);
+
+void BM_FrontierSizeSampled(benchmark::State& state) {
+  std::vector<std::uint64_t> bits(kSizeBenchNodes / 64);
+  util::Xoshiro256 rng(21);
+  for (auto& w : bits) w = rng.next() & rng.next();
+  const core::FrontierOptions fo;
+  for (auto _ : state) {
+    util::SplitMix64 sm(fo.sample_seed);
+    std::uint64_t hits = 0;
+    for (std::uint32_t i = 0; i < fo.size_probes; ++i) {
+      const auto v = static_cast<NodeId>(
+          (static_cast<unsigned __int128>(sm.next()) * kSizeBenchNodes) >> 64);
+      hits += (bits[v >> 6] >> (v & 63)) & 1ULL;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_FrontierSizeSampled)->Unit(benchmark::kMicrosecond);
 
 void BM_GrowingStepPush(benchmark::State& state) {
   const Graph& g = mesh_graph();
@@ -552,6 +648,56 @@ int main(int argc, char** argv) {
   const auto rmat_run = sssp::delta_stepping(rmat_graph(), 0, {});
   report.put("rmat_sparse_rounds", rmat_run.stats.sparse_rounds);
   report.put("rmat_dense_rounds", rmat_run.stats.dense_rounds);
+
+  // ρ-vs-Δ whole-run kernel A/B (> 1.0 means ρ-stepping wins) plus the ρ
+  // runs' step/round shape, per family.
+  const double road_rho = real_time_of(reporter.runs, "BM_RhoSteppingRoad");
+  if (road_on > 0.0 && road_rho > 0.0) {
+    report.put("rho_vs_delta_speedup_road", road_on / road_rho);
+  }
+  const double rmat_rho = real_time_of(reporter.runs, "BM_RhoSteppingRmat");
+  if (rmat_on > 0.0 && rmat_rho > 0.0) {
+    report.put("rho_vs_delta_speedup_rmat", rmat_on / rmat_rho);
+  }
+  sssp::DeltaSteppingOptions rho_opts;
+  rho_opts.algorithm = exec::Algorithm::kRhoStepping;
+  const auto road_rho_run = sssp::rho_stepping(road_graph(), 0, rho_opts);
+  report.put("road_rho_used", road_rho_run.rho_used);
+  report.put("road_rho_steps", road_rho_run.buckets_processed);
+  report.put("road_delta_buckets", road_run.buckets_processed);
+  const auto rmat_rho_run = sssp::rho_stepping(rmat_graph(), 0, rho_opts);
+  report.put("rmat_rho_used", rmat_rho_run.rho_used);
+  report.put("rmat_rho_steps", rmat_rho_run.buckets_processed);
+  report.put("rmat_delta_buckets", rmat_run.buckets_processed);
+
+  // Sampled-vs-exact frontier sizing: whole-run Δ-stepping with the probe
+  // policy on vs off (geometric mean of the two families — the headline the
+  // bench gate watches), the per-family detail, and the size-query
+  // primitive in isolation.
+  const double road_sampled =
+      real_time_of(reporter.runs, "BM_DeltaSteppingRoadSampled");
+  const double rmat_sampled =
+      real_time_of(reporter.runs, "BM_DeltaSteppingRmatSampled");
+  double sampled_geomean = 1.0;
+  if (road_on > 0.0 && road_sampled > 0.0) {
+    report.put("sampled_estimate_speedup_road", road_on / road_sampled);
+    sampled_geomean *= road_on / road_sampled;
+  }
+  if (rmat_on > 0.0 && rmat_sampled > 0.0) {
+    report.put("sampled_estimate_speedup_rmat", rmat_on / rmat_sampled);
+    sampled_geomean *= rmat_on / rmat_sampled;
+  }
+  if (road_sampled > 0.0 && rmat_sampled > 0.0) {
+    report.put("sampled_vs_exact_estimate_speedup",
+               std::sqrt(sampled_geomean));
+  }
+  const double size_exact =
+      real_time_of(reporter.runs, "BM_FrontierSizeExact");
+  const double size_sampled =
+      real_time_of(reporter.runs, "BM_FrontierSizeSampled");
+  if (size_exact > 0.0 && size_sampled > 0.0) {
+    report.put("frontier_size_probe_speedup", size_exact / size_sampled);
+  }
 
   // Context-reuse A/B (exec/context.hpp): reused-context CLUSTER / CL-DIAM
   // over fresh-context, per family. >= 1.0 means reuse pays.

@@ -12,7 +12,7 @@
 #include "core/cluster.hpp"
 #include "core/diameter.hpp"
 #include "serve/render.hpp"
-#include "sssp/delta_stepping.hpp"
+#include "sssp/rho_stepping.hpp"
 #include "util/net.hpp"
 
 namespace gdiam::serve {
@@ -64,7 +64,8 @@ bool field_bool(const Message& m, const std::string& key, bool fallback) {
 
 /// The shared execution fields, with the CLI's exact semantics and
 /// defaults: partitions (1), range-partition (hash), transport
-/// local|process|pool (processes=N alone implies process), adaptive (on).
+/// local|process|pool (processes=N alone implies process), adaptive (on),
+/// sampled-frontier (off), algorithm delta|rho (delta).
 void apply_exec_fields(const Message& m, exec::ExecOptions& opt) {
   opt.partition.num_partitions = field_u32(m, "partitions", 1);
   if (opt.partition.num_partitions == 0) {
@@ -91,6 +92,12 @@ void apply_exec_fields(const Message& m, exec::ExecOptions& opt) {
     }
   }
   opt.frontier.adaptive = field_bool(m, "adaptive", true);
+  opt.frontier.sampled_size_estimate = field_bool(m, "sampled-frontier", false);
+  const std::string algo = m.get("algorithm");
+  if (!algo.empty() && algo != "delta" && algo != "rho") {
+    throw std::invalid_argument("algorithm must be delta or rho");
+  }
+  if (algo == "rho") opt.algorithm = exec::Algorithm::kRhoStepping;
 }
 
 }  // namespace
@@ -332,6 +339,7 @@ Message Server::handle_query(GraphStore::Entry& entry, const Message& req) {
   if (req.head == "sssp") {
     sssp::DeltaSteppingOptions opt;
     opt.delta = field_double(req, "delta", 0.0);
+    opt.rho = field_u64(req, "rho", 0);
     apply_exec_fields(req, opt);
     const auto source = field_u32(req, "source", 0);
     if (source >= g.num_nodes()) {
@@ -340,7 +348,7 @@ Message Server::handle_query(GraphStore::Entry& entry, const Message& req) {
                                   std::to_string(g.num_nodes()) + ")");
     }
     const sssp::DeltaSteppingResult r =
-        sssp::delta_stepping(g, source, opt, &entry.ctx);
+        sssp::shortest_paths(g, source, opt, &entry.ctx);
     resp.body = render_sssp(source, r);
     return resp;
   }

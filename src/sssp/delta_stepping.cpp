@@ -9,6 +9,7 @@
 
 #include "exec/context.hpp"
 #include "mr/bsp_engine.hpp"
+#include "sssp/rho_stepping.hpp"
 #include "util/bitpack.hpp"
 #include "util/parallel.hpp"
 
@@ -492,12 +493,13 @@ DeltaSteppingResult delta_stepping(const Graph& g, NodeId source,
 
 SsspDiameterApprox diameter_two_approx(const Graph& g, NodeId source,
                                        const DeltaSteppingOptions& opts) {
-  const DeltaSteppingResult r = delta_stepping(g, source, opts);
+  const DeltaSteppingResult r = shortest_paths(g, source, opts);
   SsspDiameterApprox out;
   out.eccentricity = r.eccentricity;
   out.upper_bound = 2.0 * r.eccentricity;
   out.stats = r.stats;
   out.delta_used = r.delta_used;
+  out.algorithm_used = r.algorithm_used;
   return out;
 }
 

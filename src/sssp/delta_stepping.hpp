@@ -61,6 +61,10 @@ struct DeltaSteppingOptions : exec::ExecOptions {
   Weight delta = 0.0;
   /// Cap on light-phase iterations per bucket (safety valve; 0 = unlimited).
   std::uint64_t max_phases_per_bucket = 0;
+  /// ρ-stepping batch target (sssp/rho_stepping.hpp): each step extracts the
+  /// ~rho closest frontier nodes. Only read when `algorithm` (inherited from
+  /// exec::ExecOptions) selects kRhoStepping; 0 picks max(1024, n/64).
+  std::uint64_t rho = 0;
 };
 
 /// One cross-shard relaxation request: "lower dist of your node `target`
@@ -100,6 +104,9 @@ struct RoundBuffers {
   std::vector<std::uint64_t> shard_updates;
   std::vector<std::vector<NodeId>> shard_improved;
   std::vector<NodeId> changed;
+  /// ρ-stepping threshold-selection scratch: the order-encoded distances of
+  /// the sampled frontier nodes (sssp/rho_stepping.cpp).
+  std::vector<std::uint64_t> sample_bits;
   /// Resident-worker (PoolTransport) input slot: the edge class of the
   /// current relaxation phase. Lives here — stable heap address — so a pool
   /// worker's frozen compute closure reads the value decode_input just
@@ -117,12 +124,19 @@ struct RoundBuffers {
   [[nodiscard]] bool stamp_once(NodeId v);
 };
 
+/// Result of one stepping-kernel run — shared by Δ-stepping and ρ-stepping
+/// (both converge to the same exact-distance fixpoint; `algorithm_used`
+/// records which kernel produced it).
 struct DeltaSteppingResult {
   std::vector<Weight> dist;
   mr::RoundStats stats;
   NodeId farthest = kInvalidNode;  // reachable node with maximum distance
   Weight eccentricity = 0.0;
-  Weight delta_used = 0.0;
+  exec::Algorithm algorithm_used = exec::Algorithm::kDeltaStepping;
+  Weight delta_used = 0.0;  // Δ-stepping only (0 under ρ-stepping)
+  /// ρ-stepping only: the batch target the run used (0 under Δ-stepping).
+  std::uint64_t rho_used = 0;
+  /// Outer steps: buckets emptied (Δ) or extract-relax steps (ρ).
   std::uint64_t buckets_processed = 0;
   /// Shards the run executed on (1 = flat shared-memory kernel).
   std::uint32_t partitions_used = 1;
@@ -140,12 +154,14 @@ struct DeltaSteppingResult {
     exec::Context* ctx = nullptr);
 
 /// Diameter upper bound 2·ecc(source) plus the stats of the underlying run —
-/// the SSSP-based approximation the paper compares against.
+/// the SSSP-based approximation the paper compares against. Dispatches on
+/// opts.algorithm, so the whole-run A/Bs (fig3/fig4) measure either kernel.
 struct SsspDiameterApprox {
   Weight upper_bound = 0.0;   // 2 * eccentricity
   Weight eccentricity = 0.0;  // itself a lower bound on the diameter
   mr::RoundStats stats;
   Weight delta_used = 0.0;
+  exec::Algorithm algorithm_used = exec::Algorithm::kDeltaStepping;
 };
 
 [[nodiscard]] SsspDiameterApprox diameter_two_approx(

@@ -118,6 +118,127 @@ TEST(Frontier, HysteresisKeepsDenseInsideTheBand) {
   EXPECT_EQ(f.collect_mode(), FrontierMode::kSparse);
 }
 
+// ---------------------------------------------------------------------------
+// Sampled frontier sizing (FrontierOptions::sampled_size_estimate): the
+// probe-based estimate that replaces the exact sealed-size count in the
+// dense→sparse switch. Universe 2^16 with 4096 probes gives dense_threshold
+// 4096, sparse_threshold 1024 and a 2σ noise margin of
+// 2·sqrt(1024·65536/4096) = 256 — so the down-switch needs estimate ≤ 768.
+// (4096 probes rather than the default 1024 keeps every asserted decision
+// ≥4σ away from its boundary: the draws are deterministic, but the test
+// should not hinge on which side of a coin flip the fixed seed landed.)
+
+constexpr NodeId kSampleN = 1u << 16;
+
+FrontierOptions sampled_opts() {
+  FrontierOptions o;
+  o.sampled_size_estimate = true;
+  o.size_probes = 4096;
+  return o;
+}
+
+/// Seals one dense round of about `target` evenly spaced nodes.
+void dense_round(Frontier& f, NodeId target) {
+  const NodeId stride = std::max<NodeId>(1, kSampleN / std::max<NodeId>(target, 1));
+  for (NodeId v = 0; v < kSampleN; v += stride) f.insert(v);
+  f.advance();
+}
+
+TEST(FrontierSampled, EstimateIsDeterministicAndInsertionOrderFree) {
+  Frontier a(kSampleN, sampled_opts());
+  Frontier b(kSampleN, sampled_opts());
+  // Go dense first (the estimate only serves dense collections).
+  dense_round(a, 8000);
+  dense_round(b, 8000);
+  ASSERT_EQ(a.collect_mode(), FrontierMode::kDense);
+  // Same set, opposite insertion orders: the bitmap — and therefore the
+  // probe-based estimate — is a pure function of the set and the seed.
+  for (NodeId v = 0; v < kSampleN; v += 3) a.insert(v);
+  for (NodeId v = kSampleN - 1; v > 0; --v) {
+    if (v % 3 == 0) b.insert(v);
+  }
+  b.insert(0);
+  const std::size_t ea = a.estimate_size();
+  EXPECT_EQ(ea, a.estimate_size());  // repeated calls agree
+  EXPECT_EQ(ea, b.estimate_size());  // order-independent
+  // And loosely accurate: true size ~21845, σ ≈ 485; allow a wide 4σ+ band.
+  EXPECT_NEAR(static_cast<double>(ea), kSampleN / 3.0, 3900.0);
+}
+
+TEST(FrontierSampled, DownSwitchNeedsEstimateBelowMarginNotThreshold) {
+  Frontier f(kSampleN, sampled_opts());
+  EXPECT_EQ(f.sparse_threshold(), 1024u);
+  EXPECT_EQ(f.estimate_noise_margin(), 256u);
+  dense_round(f, 8000);  // above dense_threshold 4096 → dense
+  ASSERT_EQ(f.collect_mode(), FrontierMode::kDense);
+
+  // Sealed ~1009 ≤ sparse_threshold: the exact policy would drop to sparse,
+  // but the estimate (~1009) does not clear threshold − margin = 768, so the
+  // sampled policy conservatively stays dense.
+  dense_round(f, 1000);
+  EXPECT_TRUE(f.last_decision_sampled());
+  EXPECT_EQ(f.collect_mode(), FrontierMode::kDense);
+
+  // A genuinely collapsed frontier estimates ≈ 0–50 ≤ 768 → sparse again.
+  dense_round(f, 12);
+  EXPECT_TRUE(f.last_decision_sampled());
+  EXPECT_EQ(f.collect_mode(), FrontierMode::kSparse);
+  // Back in sparse mode the estimator disengages (sizes are exact and free).
+  f.insert(1);
+  f.advance();
+  EXPECT_FALSE(f.last_decision_sampled());
+}
+
+TEST(FrontierSampled, NoOscillationWhenSizesHoverAtTheDownThreshold) {
+  // Regression for the satellite concern: frontier waves hovering around
+  // sparse_threshold must not flip representation on estimator noise. Every
+  // hovering round estimates far above threshold − margin, so the frontier
+  // stays dense for the whole wave; only the exact-size up-switch (4× higher)
+  // or a true collapse moves it.
+  Frontier f(kSampleN, sampled_opts());
+  dense_round(f, 8000);
+  ASSERT_EQ(f.collect_mode(), FrontierMode::kDense);
+  for (int round = 0; round < 8; ++round) {
+    dense_round(f, round % 2 == 0 ? 1000 : 1150);  // straddles 1024
+    EXPECT_EQ(f.collect_mode(), FrontierMode::kDense) << "round " << round;
+    EXPECT_TRUE(f.last_decision_sampled());
+  }
+}
+
+TEST(FrontierSampled, SmallUniversesKeepTheExactPolicy) {
+  // Below size_probes vertices the "estimate" would cost as much as the
+  // truth: sampling must not engage, and decisions match the exact policy.
+  FrontierOptions o = sampled_opts();
+  Frontier f(100, o);
+  for (NodeId v = 0; v < 50; ++v) f.insert(v);
+  f.advance();
+  EXPECT_FALSE(f.last_decision_sampled());
+  EXPECT_EQ(f.collect_mode(), FrontierMode::kDense);
+  f.insert(1);
+  f.advance();  // exact sealed size 1 → sparse, no sampling involved
+  EXPECT_FALSE(f.last_decision_sampled());
+  EXPECT_EQ(f.collect_mode(), FrontierMode::kSparse);
+}
+
+TEST(FrontierSampled, DeltaSteppingResultsIdenticalUnderSampledSizing) {
+  // The schedule knob never changes results: distances and every model
+  // counter match the exact-count policy on a graph whose frontier waves
+  // actually go dense (G(n,m) expansion blows past dense_threshold) on a
+  // universe larger than the probe count.
+  const Graph g = test::make_family(Family::kGnmUniform, 20000, 61);
+  sssp::DeltaSteppingOptions opts;
+  const auto exact = sssp::delta_stepping(g, 0, opts);
+  opts.frontier.sampled_size_estimate = true;
+  const auto sampled = sssp::delta_stepping(g, 0, opts);
+  EXPECT_EQ(exact.dist, sampled.dist);
+  EXPECT_EQ(exact.stats.messages, sampled.stats.messages);
+  EXPECT_EQ(exact.stats.node_updates, sampled.stats.node_updates);
+  EXPECT_EQ(exact.stats.relaxation_rounds, sampled.stats.relaxation_rounds);
+  // Only the representation classification may move between the policies.
+  EXPECT_EQ(exact.stats.sparse_rounds + exact.stats.dense_rounds,
+            sampled.stats.sparse_rounds + sampled.stats.dense_rounds);
+}
+
 TEST(Frontier, HysteresisBandNeverInverts) {
   FrontierOptions o;
   o.dense_fraction = 0.1;

@@ -7,9 +7,12 @@ run. This tool diffs a candidate file against a baseline:
 
   * rows are matched by their "name" field and compared on --field
     (default: real_time) — positive delta = candidate slower;
-  * shared numeric top-level fields are reported informationally (speedup
-    ratios, mode mixes, thread counts, ...);
-  * any row regression beyond --tolerance is flagged; the exit code is 1
+  * shared numeric top-level fields are reported informationally (mode
+    mixes, thread counts, ...), EXCEPT fields whose name contains
+    "_speedup": those are tracked A/B ratios (split-vs-branch, ρ-vs-Δ,
+    sampled-vs-exact sizing, ...) where higher is better, and a drop
+    beyond --tolerance is flagged like a row regression;
+  * any regression beyond --tolerance is flagged; the exit code is 1
     unless --warn-only is given (CI uses --warn-only so perf drift warns
     without failing the build).
 
@@ -155,11 +158,20 @@ def main():
         set(numeric_fields(base)) & set(numeric_fields(cand))
     )
     if shared_meta:
-        print("  -- top-level metrics (informational) --")
+        print("  -- top-level metrics (_speedup fields gated, rest informational) --")
         for key in shared_meta:
             b, c = base[key], cand[key]
             delta = (c - b) / b if b else 0.0
-            print(f"  {key:<{name_w}}  {b:12.4g} -> {c:12.4g}  {delta:+8.1%}")
+            flag = ""
+            # Speedup ratios are higher-is-better A/Bs: a drop beyond
+            # tolerance means the optimized path lost ground against its
+            # baseline even if both kernels' absolute times moved together.
+            if "_speedup" in key and delta < -args.tolerance:
+                flag = "  << REGRESSION"
+                regressions.append((key, float(b), float(c), delta))
+            print(
+                f"  {key:<{name_w}}  {b:12.4g} -> {c:12.4g}  {delta:+8.1%}{flag}"
+            )
 
     if regressions:
         print(

@@ -38,14 +38,22 @@ commands:
   stats    FILE [--sweeps K]
   estimate FILE [--tau T] [--seed S] [--cluster2] [--classic] [--pull]
            [--partitions K] [--range-partition] [--no-adaptive]
-           [--transport local|process|pool] [--processes P]
-           [--repeat N] [--reuse-context | --no-reuse-context]
+           [--sampled-frontier] [--transport local|process|pool]
+           [--processes P] [--repeat N]
+           [--reuse-context | --no-reuse-context]
   decompose FILE --out CLUSTERING.gdcl [--tau T] [--seed S]
             [--quotient QUOTIENT_GRAPH_FILE]
-  sssp     FILE [--source U] [--delta D] [--partitions K] [--range-partition]
-           [--no-adaptive] [--transport local|process|pool] [--processes P]
-           [--repeat N] [--reuse-context | --no-reuse-context]
+  sssp     FILE [--source U] [--algorithm delta|rho] [--delta D] [--rho N]
+           [--partitions K] [--range-partition] [--no-adaptive]
+           [--sampled-frontier] [--transport local|process|pool]
+           [--processes P] [--repeat N]
+           [--reuse-context | --no-reuse-context]
   convert  IN OUT
+
+--algorithm picks the stepping kernel: delta (Meyer-Sanders buckets of width
+--delta; the default) or rho (PASGAL-style batches of the ~N closest frontier
+nodes, --rho N, 0 = auto). Both return exact, bit-identical distances; they
+trade rounds against work differently (DESIGN.md section 11).
 
 --partitions K > 1 runs the kernels on the sharded BSP engine (K shards,
 hash partitioner unless --range-partition) and reports the cross-partition
@@ -61,7 +69,10 @@ serving configuration gdiamd runs hot graphs on; results stay bit-identical.
 
 --no-adaptive disables the adaptive sparse/dense frontier engine and runs
 the legacy full-scan round paths (A/B baseline; results are identical, the
-cost line just loses its modes=S/D classification).
+cost line just loses its modes=S/D classification). --sampled-frontier
+replaces the exact sealed-size count in the frontier's dense->sparse switch
+with a ~1024-probe estimate (noise-margin guarded; results identical, only
+the representation schedule can move).
 
 --repeat N runs the estimate / sssp kernel N times and prints per-run wall
 times. By default every repetition shares one exec::Context (pooled engines
@@ -253,6 +264,8 @@ int cmd_estimate(const util::Options& o) {
   }
   opt.cluster.transport = parse_transport(o, opt.cluster.partition);
   opt.cluster.frontier.adaptive = !o.get_bool("no-adaptive", false);
+  opt.cluster.frontier.sampled_size_estimate =
+      o.get_bool("sampled-frontier", false);
   const RepeatOptions rep = parse_repeat(o);
 
   // One context for every repetition (the default), or a fresh one per run
@@ -315,10 +328,18 @@ int cmd_sssp(const util::Options& o) {
   const Graph g = load(o.positional()[1]);
   const auto source = static_cast<NodeId>(o.get_int("source", 0));
   sssp::DeltaSteppingOptions opt;
+  const std::string algo = o.get_string("algorithm", "delta");
+  if (algo == "rho") {
+    opt.algorithm = exec::Algorithm::kRhoStepping;
+  } else if (algo != "delta") {
+    usage("--algorithm must be delta or rho");
+  }
   opt.delta = o.get_double("delta", 0.0);
+  opt.rho = static_cast<std::uint64_t>(o.get_int("rho", 0));
   opt.partition = parse_partition(o);
   opt.transport = parse_transport(o, opt.partition);
   opt.frontier.adaptive = !o.get_bool("no-adaptive", false);
+  opt.frontier.sampled_size_estimate = o.get_bool("sampled-frontier", false);
   const RepeatOptions rep = parse_repeat(o);
 
   exec::Context shared_ctx;
@@ -328,7 +349,7 @@ int cmd_sssp(const util::Options& o) {
     exec::Context fresh_ctx;
     exec::Context& ctx = rep.reuse_context ? shared_ctx : fresh_ctx;
     util::Timer t;
-    r = sssp::delta_stepping(g, source, opt, &ctx);
+    r = sssp::shortest_paths(g, source, opt, &ctx);
     if (rep.repeat > 1) {
       std::printf("run %-3u        %s  (%s context)\n", run + 1,
                   util::format_duration(t.seconds()).c_str(),

@@ -6,9 +6,10 @@
 // Verbs (see src/serve/protocol.hpp for the wire format):
 //   estimate  — CL-DIAM approximation; fields: graph= (required), tau=,
 //               seed=, cluster2=, classic=, partitions=, transport=,
-//               processes=, adaptive=
-//   sssp      — Δ-stepping; fields: graph= (required), source=, delta=,
-//               partitions=, transport=, processes=, adaptive=
+//               processes=, adaptive=, sampled-frontier=
+//   sssp      — stepping-kernel SSSP; fields: graph= (required), source=,
+//               algorithm= (delta|rho), delta=, rho=, partitions=,
+//               transport=, processes=, adaptive=, sampled-frontier=
 //   load      — preload a graph into the daemon's hot set
 //   stats     — serving counters and the resident-graph table
 //   shutdown  — ask the daemon to exit
