@@ -23,6 +23,7 @@
 #include "sssp/dijkstra.hpp"
 #include "sssp/rho_stepping.hpp"
 #include "util/bitpack.hpp"
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -548,6 +549,33 @@ void BM_ConnectedComponents(benchmark::State& state) {
 }
 BENCHMARK(BM_ConnectedComponents)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Fault-injection layer (util/fault.hpp): the acceptance contract is that a
+// disarmed fault point costs one relaxed atomic load — cheap enough to leave
+// compiled into the I/O and scheduling hot paths unconditionally. Disarmed is
+// the production configuration; ArmedMiss is the worst armed case a hot path
+// can see (a schedule is live but names only other sites, so every check
+// pays the full table scan without firing).
+
+void BM_FaultCheckDisarmed(benchmark::State& state) {
+  util::fault::disarm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::fault::check("bench.never.armed").fail);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FaultCheckDisarmed)->Unit(benchmark::kNanosecond);
+
+void BM_FaultCheckArmedMiss(benchmark::State& state) {
+  util::fault::arm("bench.other.site=delay:1@1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::fault::check("bench.never.armed").fail);
+  }
+  util::fault::disarm();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FaultCheckArmedMiss)->Unit(benchmark::kNanosecond);
+
 void BM_RmatGeneration(benchmark::State& state) {
   for (auto _ : state) {
     util::Xoshiro256 rng(13);
@@ -717,6 +745,14 @@ int main(int argc, char** argv) {
   if (const double s = reuse_ratio("BM_DiameterContextFreshRoad",
                                    "BM_DiameterContextReuseRoad")) {
     report.put("diameter_context_reuse_speedup_road", s);
+  }
+  // Disarmed fault points (util/fault.hpp) must stay in the noise: these are
+  // absolute nanoseconds per check, not a ratio, so the gate can watch them.
+  if (const double ns = real_time_of(reporter.runs, "BM_FaultCheckDisarmed")) {
+    report.put("fault_check_disarmed_ns", ns);
+  }
+  if (const double ns = real_time_of(reporter.runs, "BM_FaultCheckArmedMiss")) {
+    report.put("fault_check_armed_miss_ns", ns);
   }
   for (const auto& r : reporter.runs) {
     report.add_row()

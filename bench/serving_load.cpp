@@ -155,6 +155,10 @@ int main(int argc, char** argv) {
   const serve::ServerStats& stats = server.stats();
   const std::uint64_t batches = stats.batches.load();
   const std::uint64_t coalesced = stats.batched_requests.load();
+  const std::uint64_t shed = stats.shed.load();
+  const std::uint64_t deadline_exceeded = stats.deadline_exceeded.load();
+  const std::uint64_t degraded = stats.degraded.load();
+  const std::uint64_t disconnected_slow = stats.disconnected_slow.load();
   server.stop();
   for (unsigned j = 0; j < jobs; ++j) {
     if (!failures[j].empty()) {
@@ -184,6 +188,14 @@ int main(int argc, char** argv) {
   report.put("warm_speedup", warm_speedup);
   report.put("batches", batches);
   report.put("batched_requests", coalesced);
+  // Robustness counters (DESIGN.md §12). All four must be zero on a healthy
+  // run: the bench uses no deadlines, the queue is sized for the load, and
+  // every client drains its responses. A nonzero value here is the daemon
+  // shedding or degrading under what should be comfortable load.
+  report.put("shed", shed);
+  report.put("deadline_exceeded", deadline_exceeded);
+  report.put("degraded", degraded);
+  report.put("disconnected_slow", disconnected_slow);
 
   util::Table table({"request", "count", "p50 ms", "p95 ms", "p99 ms"});
   table.row().cell("cold first estimate").count(1).num(cold_ms).num(cold_ms).num(
@@ -204,6 +216,13 @@ int main(int argc, char** argv) {
   std::printf("batching:     %llu dispatches, %llu coalesced riders\n",
               static_cast<unsigned long long>(batches),
               static_cast<unsigned long long>(coalesced));
+  std::printf(
+      "robustness:   %llu shed, %llu deadline_exceeded, %llu degraded, "
+      "%llu disconnected_slow (all should be 0)\n",
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(degraded),
+      static_cast<unsigned long long>(disconnected_slow));
 
   const std::string path = report.write();
   if (!path.empty()) std::printf("\nwrote %s\n", path.c_str());

@@ -12,11 +12,13 @@
 
 #include <omp.h>
 
+#include "util/fault.hpp"
 #include "util/net.hpp"
 
 namespace gdiam::mr {
 
 namespace net = gdiam::util::net;
+namespace fault = gdiam::util::fault;
 
 namespace {
 
@@ -142,6 +144,9 @@ TransportStats ProcessTransport::run_compute(const SuperstepPlan& plan) {
       for (std::uint32_t q = 0; q < p; ++q) ::close(rx[q]);
       int status = 0;
       try {
+        // Fault point: a kill here is a worker crash before any output; an
+        // errno makes this worker report a deterministic compute failure.
+        if (fault::check("proc.worker").fail) throw std::runtime_error("");
         const auto [first, last] = launcher_.group(p);
         for (ShardId s = first; s < last; ++s) plan.compute(s);
         std::vector<std::byte> frames;
@@ -203,18 +208,19 @@ TransportStats ProcessTransport::run_compute(const SuperstepPlan& plan) {
     const net::ReapResult rr = net::reap_child(pids[p], kReapTimeoutMs);
     const int code = rr.exit_code();
     if (worker_error.empty() && code != 0) {
-      const char* why = !rr.reaped   ? "lost worker "
-                        : rr.sigkilled ? "hung worker (killed): worker "
-                        : code == 2    ? "compute threw in worker "
-                        : code == 3    ? "socket write failed in worker "
-                                       : "worker died: worker ";
+      const char* why = !rr.reaped ? "lost worker "
+                        : rr.sigkilled || rr.sigtermed
+                            ? "hung worker (killed): worker "
+                        : code == 2 ? "compute threw in worker "
+                        : code == 3 ? "socket write failed in worker "
+                                    : "worker died: worker ";
       worker_error = why + std::to_string(p);
     }
   }
   // A dead worker explains a truncated/short stream, never the other way
   // around — report the root cause, not the symptom the reader saw first.
   if (!worker_error.empty()) error = worker_error;
-  if (!error.empty()) throw std::runtime_error("ProcessTransport: " + error);
+  if (!error.empty()) throw TransportError("ProcessTransport: " + error);
   return out;
 }
 
@@ -251,6 +257,9 @@ void PoolTransport::shutdown() noexcept {
 }
 
 void PoolTransport::spawn_worker(std::uint32_t p, const SuperstepPlan& plan) {
+  // Fault point: an errno here is a failed fork/socketpair — the spawn path
+  // the daemon's degradation ladder (pool → local) is tested against.
+  if (fault::check("pool.spawn").fail) throw_errno("socketpair");
   int fds[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
     throw_errno("socketpair");
@@ -292,6 +301,10 @@ void PoolTransport::worker_main(std::uint32_t p, int fd,
     if (!net::read_exact(fd, &cmd, 1)) ::_exit(0);  // coordinator is gone
     if (cmd == 'Q') ::_exit(0);
     if (cmd != 'S') ::_exit(4);
+    // Fault point: a kill fires SIGKILL on *this worker* mid-superstep
+    // (after the coordinator committed to the step — the crash-replay
+    // path); a delay stalls the step (the slow-worker path).
+    fault::check("pool.worker.step");
     try {
       for (ShardId s = first; s < last; ++s) {
         std::uint64_t len = 0;
@@ -329,6 +342,9 @@ void PoolTransport::worker_main(std::uint32_t p, int fd,
 bool PoolTransport::send_step(const Worker& w, std::uint32_t p,
                               const SuperstepPlan& plan,
                               std::uint64_t& bytes) noexcept {
+  // Fault point: errno/short fail the ship (the pool restarts the group); a
+  // kill takes down the worker itself just before its inputs arrive.
+  if (fault::check("pool.ship", w.pid).fail) return false;
   std::vector<std::byte> frame;
   frame.push_back(std::byte{'S'});
   const auto [first, last] = launcher_.group(p);
@@ -347,6 +363,12 @@ bool PoolTransport::send_step(const Worker& w, std::uint32_t p,
 bool PoolTransport::recv_step(const Worker& w, std::uint32_t p,
                               const SuperstepPlan& plan, std::uint64_t& msgs,
                               std::uint64_t& bytes, std::string& fatal) {
+  // Fault point: errno/short here look exactly like a worker that died
+  // mid-reply — a torn reassembly the pool must respawn-and-replay through.
+  {
+    const fault::Outcome f = fault::check("pool.recv", w.pid);
+    if (f.fail || f.short_io) return false;
+  }
   std::uint64_t status = 0;
   if (!net::read_u64(w.fd, status)) return false;
   bytes += sizeof status;
@@ -444,7 +466,7 @@ TransportStats PoolTransport::run_compute(const SuperstepPlan& plan) {
     return out;
   } catch (const std::exception& e) {
     shutdown();  // never leave half-alive workers behind a thrown superstep
-    throw std::runtime_error(std::string("PoolTransport: ") + e.what());
+    throw TransportError(std::string("PoolTransport: ") + e.what());
   }
 }
 

@@ -71,6 +71,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -80,6 +81,18 @@
 namespace gdiam::mr {
 
 enum class TransportKind { kLocal, kProcess, kPool };
+
+/// What a transport throws when a superstep cannot be completed remotely
+/// (spawn failure, restart budget exhausted, a worker that fails
+/// deterministically). Typed so upper layers can *degrade* instead of die:
+/// the serving daemon catches TransportError and transparently re-executes
+/// the query on LocalTransport (DESIGN.md §12's degradation ladder) —
+/// anything else propagating out of a kernel is a real bug and must not be
+/// silently retried.
+class TransportError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Transport selection knobs, carried by exec::ExecOptions so one assignment
 /// configures a whole pipeline (`--transport process --processes P` in the

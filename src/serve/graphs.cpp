@@ -10,6 +10,7 @@
 #include "gen/road.hpp"
 #include "gen/weights.hpp"
 #include "graph/io.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace gdiam::serve {
@@ -133,6 +134,12 @@ GraphStore::Entry& GraphStore::get(const std::string& spec) {
   // entry's own mutex; losers find `loaded` set and return immediately.
   const std::lock_guard<std::mutex> elk(e->mu);
   if (!e->loaded) {
+    // Fault point: a transient load failure (I/O error on a graph file,
+    // allocation pressure) — the entry stays retryable, so the *next*
+    // request for this spec loads cleanly.
+    if (util::fault::check("serve.load").fail) {
+      throw std::runtime_error("serve: graph load failed: " + spec);
+    }
     e->graph = make_graph(spec);  // a throw leaves the entry retryable
     e->loaded = true;
     const std::lock_guard<std::mutex> lk(mu_);

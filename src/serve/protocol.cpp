@@ -87,8 +87,8 @@ bool read_message(int fd, Message& out) {
     return false;  // clean EOF between frames
   }
   if (len > kMaxFrame) {
-    throw std::invalid_argument("serve: frame length " + std::to_string(len) +
-                                " exceeds limit");
+    throw FrameError("serve: frame length " + std::to_string(len) +
+                     " exceeds limit " + std::to_string(kMaxFrame));
   }
   std::string payload(len, '\0');
   if (len != 0 && !net::read_exact(fd, payload.data(), len)) {
@@ -98,7 +98,7 @@ bool read_message(int fd, Message& out) {
   return true;
 }
 
-void write_message(int fd, const Message& m) {
+void write_message(int fd, const Message& m, int timeout_ms) {
   const std::string payload = encode(m);
   if (payload.size() > kMaxFrame) {
     throw std::invalid_argument("serve: payload exceeds frame limit");
@@ -110,8 +110,18 @@ void write_message(int fd, const Message& m) {
   frame += payload;
   // One write per frame: concurrent responders interleave at frame
   // granularity at worst (the server additionally serializes per
-  // connection), and a dead client surfaces as EPIPE, not SIGPIPE.
-  net::write_all(fd, frame.data(), frame.size());
+  // connection), and a dead client surfaces as EPIPE, not SIGPIPE. With a
+  // timeout, a stalled reader surfaces as ETIMEDOUT instead of wedging the
+  // writing thread forever.
+  if (!net::write_all_timeout(fd, frame.data(), frame.size(), timeout_ms)) {
+    if (errno == ETIMEDOUT) {
+      throw WriteTimeout("serve: write: stalled reader (timeout " +
+                         std::to_string(timeout_ms) + "ms)");
+    }
+    throw std::runtime_error(std::string("serve: write: ") +
+                             (errno == 0 ? "peer closed"
+                                         : std::strerror(errno)));
+  }
 }
 
 }  // namespace gdiam::serve

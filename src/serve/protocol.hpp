@@ -27,6 +27,7 @@
 // allocation — a garbage length must not look like a 4 GiB message.
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,7 +36,41 @@ namespace gdiam::serve {
 
 /// Frames larger than this are a protocol error (the largest legitimate
 /// payload — a stats body enumerating every hot graph — is a few KiB).
+/// read_message rejects the length *before* allocating: a garbage or
+/// hostile length prefix must not become a multi-GiB allocation.
 inline constexpr std::uint32_t kMaxFrame = 1u << 20;
+
+/// Thrown by read_message on an oversized length prefix. Distinct from
+/// plain std::invalid_argument (a malformed payload in a well-framed
+/// message) because the stream is now desynced: the server answers
+/// `bad_request` and must then close the connection, whereas a decode
+/// error leaves the stream at a frame boundary and the connection usable.
+class FrameError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown by write_message when `timeout_ms` expires against a full socket
+/// buffer — a stalled reader, not a dead one. Typed (rather than left to an
+/// errno check after the throw) because the server must count and disconnect
+/// these specifically, and errno is not reliable across unwinding.
+class WriteTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Error-code values carried in the `code` field of `error` responses, so
+/// clients can react without parsing prose (`message` stays human-facing):
+///   bad_request       — malformed frame/field/verb/argument
+///   overloaded        — request queue full; load was shed at admission
+///   deadline_exceeded — the client's deadline_ms expired before service
+///   shutting_down     — daemon is draining; request was not served
+///   internal          — server-side failure (load error, compute throw)
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrOverloaded = "overloaded";
+inline constexpr const char* kErrDeadlineExceeded = "deadline_exceeded";
+inline constexpr const char* kErrShuttingDown = "shutting_down";
+inline constexpr const char* kErrInternal = "internal";
 
 /// One decoded protocol message; see the header comment for the layout.
 struct Message {
@@ -63,7 +98,9 @@ struct Message {
 bool read_message(int fd, Message& out);
 
 /// Writes one frame (EINTR-safe, SIGPIPE-proof via util/net.hpp); throws on
-/// socket errors and on oversized payloads.
-void write_message(int fd, const Message& m);
+/// socket errors and on oversized payloads. `timeout_ms` > 0 bounds how
+/// long a full socket buffer (a stalled reader) may block the write
+/// (throws WriteTimeout on expiry); <= 0 blocks indefinitely.
+void write_message(int fd, const Message& m, int timeout_ms = 0);
 
 }  // namespace gdiam::serve

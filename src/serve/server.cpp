@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -11,8 +12,10 @@
 
 #include "core/cluster.hpp"
 #include "core/diameter.hpp"
+#include "mr/transport.hpp"
 #include "serve/render.hpp"
 #include "sssp/rho_stepping.hpp"
+#include "util/fault.hpp"
 #include "util/net.hpp"
 
 namespace gdiam::serve {
@@ -100,11 +103,18 @@ void apply_exec_fields(const Message& m, exec::ExecOptions& opt) {
   if (algo == "rho") opt.algorithm = exec::Algorithm::kRhoStepping;
 }
 
+bool deadline_expired(
+    const std::chrono::steady_clock::time_point& deadline) noexcept {
+  return deadline != std::chrono::steady_clock::time_point::max() &&
+         std::chrono::steady_clock::now() >= deadline;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
   if (opts_.worker_threads == 0) opts_.worker_threads = 1;
   if (opts_.max_batch == 0) opts_.max_batch = 1;
+  if (opts_.max_queue == 0) opts_.max_queue = 1;
 }
 
 Server::~Server() {
@@ -184,6 +194,16 @@ void Server::accept_loop() {
       ::close(fd);
       break;
     }
+    // Fault point: an errno drops this connection at the door (accept-layer
+    // chaos); a delay stalls admission without holding any lock.
+    if (util::fault::check("serve.accept").fail) {
+      ::close(fd);
+      continue;
+    }
+    if (opts_.sndbuf_bytes > 0) {
+      const int v = static_cast<int>(opts_.sndbuf_bytes);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &v, sizeof v);
+    }
     stats_.connections.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
@@ -200,6 +220,16 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
   while (!stopping_.load()) {
     try {
       if (!read_message(conn->fd, req)) break;  // client hung up
+    } catch (const FrameError& e) {
+      // Oversized length prefix: the stream is desynced — whatever follows
+      // is not at a frame boundary. Answer once, then hang up.
+      send_error(*conn, Message{}, kErrBadRequest, e.what());
+      break;
+    } catch (const std::invalid_argument& e) {
+      // Malformed payload inside a well-framed message: the stream is
+      // still at a frame boundary, so the connection stays usable.
+      send_error(*conn, Message{}, kErrBadRequest, e.what());
+      continue;
     } catch (const std::exception&) {
       break;  // torn frame or dead socket: nothing sane to answer onto
     }
@@ -207,6 +237,12 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
     // worker is pinned under a long estimate.
     if (req.head == "stats") {
       Message resp = handle_stats();
+      if (req.has("id")) resp.set("id", req.get("id"));
+      send_response(*conn, resp);
+      continue;
+    }
+    if (req.head == "fault") {
+      Message resp = handle_fault(req);
       if (req.has("id")) resp.set("id", req.get("id"));
       send_response(*conn, resp);
       continue;
@@ -221,31 +257,58 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
     }
     const std::string graph = req.get("graph");
     if (req.head != "estimate" && req.head != "sssp" && req.head != "load") {
-      Message resp;
-      resp.head = "error";
-      resp.set("message", "unknown verb '" + req.head + "'");
-      if (req.has("id")) resp.set("id", req.get("id"));
-      stats_.errors.fetch_add(1, std::memory_order_relaxed);
-      send_response(*conn, resp);
+      send_error(*conn, req, kErrBadRequest,
+                 "unknown verb '" + req.head + "'");
       continue;
     }
     if (graph.empty()) {
-      Message resp;
-      resp.head = "error";
-      resp.set("message", req.head + " requires a graph= field");
-      if (req.has("id")) resp.set("id", req.get("id"));
-      stats_.errors.fetch_add(1, std::memory_order_relaxed);
-      send_response(*conn, resp);
+      send_error(*conn, req, kErrBadRequest,
+                 req.head + " requires a graph= field");
+      continue;
+    }
+    Request r{conn, Message{}, graph};
+    try {
+      const std::uint64_t dl = field_u64(req, "deadline_ms", 0);
+      if (dl != 0) {
+        r.deadline =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(dl);
+      }
+    } catch (const std::exception& e) {
+      send_error(*conn, req, kErrBadRequest, e.what());
+      continue;
+    }
+    if (stopping_.load()) {
+      send_error(*conn, req, kErrShuttingDown, "daemon is shutting down");
+      break;
+    }
+    // Admission control: past max_queue the request is shed here, with an
+    // immediate typed error, instead of queueing without bound — a deep
+    // queue only converts overload into deadline misses.
+    bool accepted = false;
+    {
+      const std::lock_guard<std::mutex> lk(qmu_);
+      if (queue_.size() < opts_.max_queue) {
+        r.msg = std::move(req);
+        queue_.push_back(std::move(r));
+        accepted = true;
+      }
+    }
+    if (!accepted) {
+      stats_.shed.fetch_add(1, std::memory_order_relaxed);
+      send_error(*conn, req, kErrOverloaded, "request queue is full");
       continue;
     }
     stats_.requests.fetch_add(1, std::memory_order_relaxed);
-    {
-      const std::lock_guard<std::mutex> lk(qmu_);
-      queue_.push_back(Request{conn, std::move(req), graph});
-    }
     qcv_.notify_one();
     req = Message{};
   }
+  // A reader exits mid-run only because this connection is done (client hung
+  // up, desynced stream, dead socket): EOF the peer now, or a client blocked
+  // on read_message after a `bad_request` answer would wait until stop() for
+  // the close. The fd itself stays open until stop() so late worker responses
+  // hit EPIPE rather than a reused descriptor. During a stop, leave the write
+  // side up — drain errors for still-queued requests go out on it.
+  if (!stopping_.load()) ::shutdown(conn->fd, SHUT_RDWR);
 }
 
 void Server::worker_loop() {
@@ -254,7 +317,19 @@ void Server::worker_loop() {
     {
       std::unique_lock<std::mutex> lk(qmu_);
       qcv_.wait(lk, [this] { return stopping_.load() || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and fully drained
+      if (stopping_.load()) {
+        // Graceful drain: in-flight batches (already popped, running on
+        // other workers) finish normally; everything still queued gets a
+        // typed `shutting_down` error, never a silent drop.
+        std::deque<Request> drained;
+        drained.swap(queue_);
+        lk.unlock();
+        for (Request& r : drained) {
+          send_error(*r.conn, r.msg, kErrShuttingDown,
+                     "daemon is shutting down");
+        }
+        return;
+      }
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
       // The batcher: pull every pending same-graph request (arrival order
@@ -269,6 +344,9 @@ void Server::worker_loop() {
         }
       }
     }
+    // Fault point: a delay here stretches queue residency (the deadline and
+    // shedding tests lean on it); an errno is ignored — dequeue cannot fail.
+    util::fault::check("serve.dequeue");
     stats_.batches.fetch_add(1, std::memory_order_relaxed);
     stats_.batched_requests.fetch_add(batch.size() - 1,
                                       std::memory_order_relaxed);
@@ -280,14 +358,14 @@ void Server::serve_batch(std::vector<Request>& batch) {
   GraphStore::Entry* entry = nullptr;
   try {
     entry = &store_.get(batch.front().graph);
+  } catch (const std::invalid_argument& e) {
+    for (Request& r : batch) {
+      send_error(*r.conn, r.msg, kErrBadRequest, e.what());
+    }
+    return;
   } catch (const std::exception& e) {
     for (Request& r : batch) {
-      Message resp;
-      resp.head = "error";
-      resp.set("message", e.what());
-      if (r.msg.has("id")) resp.set("id", r.msg.get("id"));
-      stats_.errors.fetch_add(1, std::memory_order_relaxed);
-      send_response(*r.conn, resp);
+      send_error(*r.conn, r.msg, kErrInternal, e.what());
     }
     return;
   }
@@ -295,21 +373,46 @@ void Server::serve_batch(std::vector<Request>& batch) {
   // on the same warm context, back to back.
   const std::lock_guard<std::mutex> lk(entry->mu);
   for (Request& r : batch) {
+    // Deadline re-check before each item: a long head query may have eaten
+    // the whole budget of the requests batched behind it.
+    if (deadline_expired(r.deadline)) {
+      stats_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      send_error(*r.conn, r.msg, kErrDeadlineExceeded,
+                 "deadline_ms expired before service");
+      continue;
+    }
     Message resp;
     try {
-      resp = handle_query(*entry, r.msg);
+      resp = handle_query(*entry, r.msg, /*force_local=*/false);
+    } catch (const mr::TransportError& e) {
+      // Degradation ladder (DESIGN.md §12): the remote transport is
+      // terminally gone — e.g. a pool group past its restart budget. The
+      // transport parity contract makes a LocalTransport re-execution
+      // bit-identical, so retry there instead of failing the client; only
+      // the stats (and a degraded=1 field) betray the fallback.
+      if (opts_.degrade_to_local) {
+        try {
+          resp = handle_query(*entry, r.msg, /*force_local=*/true);
+          resp.set("degraded", "1");
+          stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::exception& e2) {
+          resp = error_response(kErrInternal, e2.what());
+        }
+      } else {
+        resp = error_response(kErrInternal, e.what());
+      }
+    } catch (const std::invalid_argument& e) {
+      resp = error_response(kErrBadRequest, e.what());
     } catch (const std::exception& e) {
-      resp = Message{};
-      resp.head = "error";
-      resp.set("message", e.what());
-      stats_.errors.fetch_add(1, std::memory_order_relaxed);
+      resp = error_response(kErrInternal, e.what());
     }
     if (r.msg.has("id")) resp.set("id", r.msg.get("id"));
     send_response(*r.conn, resp);
   }
 }
 
-Message Server::handle_query(GraphStore::Entry& entry, const Message& req) {
+Message Server::handle_query(GraphStore::Entry& entry, const Message& req,
+                             bool force_local) {
   Message resp;
   resp.head = "ok";
   const Graph& g = entry.graph;
@@ -328,6 +431,7 @@ Message Server::handle_query(GraphStore::Entry& entry, const Message& req) {
     opt.use_cluster2 = field_bool(req, "cluster2", false);
     opt.radius_aware = !field_bool(req, "classic", false);
     apply_exec_fields(req, opt.cluster);
+    if (force_local) opt.cluster.transport = {};
     if (opt.cluster.partition.num_partitions > 1) {
       opt.cluster.policy = core::GrowingPolicy::kPartitioned;
     }
@@ -341,6 +445,7 @@ Message Server::handle_query(GraphStore::Entry& entry, const Message& req) {
     opt.delta = field_double(req, "delta", 0.0);
     opt.rho = field_u64(req, "rho", 0);
     apply_exec_fields(req, opt);
+    if (force_local) opt.transport = {};
     const auto source = field_u32(req, "source", 0);
     if (source >= g.num_nodes()) {
       throw std::invalid_argument("source " + std::to_string(source) +
@@ -363,6 +468,12 @@ Message Server::handle_stats() {
   resp.set("errors", std::to_string(stats_.errors.load()));
   resp.set("batches", std::to_string(stats_.batches.load()));
   resp.set("batched", std::to_string(stats_.batched_requests.load()));
+  resp.set("shed", std::to_string(stats_.shed.load()));
+  resp.set("deadline_exceeded",
+           std::to_string(stats_.deadline_exceeded.load()));
+  resp.set("degraded", std::to_string(stats_.degraded.load()));
+  resp.set("disconnected_slow",
+           std::to_string(stats_.disconnected_slow.load()));
   std::string body;
   for (const GraphStore::Snapshot& s : store_.snapshot()) {
     body += s.spec + "  n=" + std::to_string(s.nodes) +
@@ -374,13 +485,58 @@ Message Server::handle_stats() {
   return resp;
 }
 
+Message Server::handle_fault(const Message& req) {
+  // The chaos harness's control verb: `spec=` arms a fault schedule in the
+  // daemon process (same grammar as GDIAM_FAULTS), `clear=1` disarms, and
+  // either way the response body carries the live schedule with hit/fired
+  // counters so tests can assert that arming took.
+  try {
+    if (field_bool(req, "clear", false)) util::fault::disarm();
+    const std::string spec = req.get("spec");
+    if (!spec.empty()) util::fault::arm(spec);
+  } catch (const std::exception& e) {
+    return error_response(kErrBadRequest, e.what());
+  }
+  Message resp;
+  resp.head = "ok";
+  resp.set("armed", util::fault::armed() ? "1" : "0");
+  resp.body = util::fault::describe();
+  return resp;
+}
+
+Message Server::error_response(const std::string& code,
+                               const std::string& message) {
+  Message resp;
+  resp.head = "error";
+  resp.set("code", code);
+  resp.set("message", message);
+  stats_.errors.fetch_add(1, std::memory_order_relaxed);
+  return resp;
+}
+
+void Server::send_error(Connection& conn, const Message& req,
+                        const std::string& code, const std::string& message) {
+  Message resp = error_response(code, message);
+  if (req.has("id")) resp.set("id", req.get("id"));
+  send_response(conn, resp);
+}
+
 void Server::send_response(Connection& conn, const Message& resp) {
   const std::lock_guard<std::mutex> lk(conn.write_mu);
   try {
-    write_message(conn.fd, resp);
+    write_message(conn.fd, resp, static_cast<int>(opts_.write_timeout_ms));
+  } catch (const WriteTimeout&) {
+    // The client stopped draining its responses (the slow-reader case):
+    // count it, then hang up — a wedged write would otherwise pin a worker
+    // thread on one stalled peer forever.
+    stats_.disconnected_slow.fetch_add(1, std::memory_order_relaxed);
+    ::shutdown(conn.fd, SHUT_RDWR);
   } catch (const std::exception&) {
-    // Client is gone; its reader will notice on the next read. A serving
-    // daemon never dies because one client hung up mid-response.
+    // A serving daemon never dies because one response write failed — but
+    // the connection does: a failed write may have put *part* of a frame on
+    // the wire, and a client blocked mid-frame on a stream the server will
+    // never finish is a hang, not an error it can see.
+    ::shutdown(conn.fd, SHUT_RDWR);
   }
 }
 

@@ -7,14 +7,32 @@
 //   accept thread   — accepts connections, spawns one reader per client;
 //   reader threads  — parse frames off one connection each and enqueue
 //                     {connection, request} onto the scheduler queue.
-//                     Control verbs (stats, shutdown) are answered inline —
-//                     they must work even when every worker is busy;
+//                     Control verbs (stats, shutdown, fault) are answered
+//                     inline — they must work even when every worker is
+//                     busy. Admission control happens here: a full queue
+//                     sheds the request with an `overloaded` error instead
+//                     of queueing without bound;
 //   worker threads  — the request scheduler: each pops the oldest pending
 //                     request, then *batches* every other pending request
 //                     for the same graph spec (up to max_batch, preserving
 //                     arrival order), resolves the graph once, takes the
 //                     graph's context lock once, and serves the whole batch
-//                     on the warm exec::Context before unlocking.
+//                     on the warm exec::Context before unlocking. Client
+//                     deadlines (`deadline_ms`) are checked at dequeue and
+//                     again before each batch item: an expired request gets
+//                     a `deadline_exceeded` error, never a silent drop.
+//
+// Robustness (DESIGN.md §12): every error response carries a typed `code`
+// field (bad_request / overloaded / deadline_exceeded / shutting_down /
+// internal). Responses are written with a bounded timeout — a client that
+// stops reading is disconnected (`disconnected_slow`) instead of wedging a
+// worker on a full socket buffer. When a remote transport fails terminally
+// (mr::TransportError — e.g. a pool group that exhausted its restart
+// budget), the query is transparently re-executed on LocalTransport and the
+// response gains `degraded=1`: results are bit-identical by the transport
+// parity contract, so degradation is invisible except in the stats. On
+// shutdown, in-flight batches finish and queued requests get
+// `shutting_down`.
 //
 // Batching policy: same-graph requests are where the warm state lives —
 // pooled engines with resident pool workers, cached Δ-presplits, reusable
@@ -35,6 +53,7 @@
 // from the owning thread, never from a request handler.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -57,6 +76,21 @@ struct ServerOptions {
   std::uint32_t worker_threads = 2;
   /// Max same-graph requests served per batch (>= 1).
   std::uint32_t max_batch = 16;
+  /// Admission bound on the pending-request queue: requests past it are
+  /// shed with an `overloaded` error instead of queueing without bound
+  /// (>= 1; a deep queue only converts overload into deadline misses).
+  std::uint32_t max_queue = 256;
+  /// How long one response write may block on a full socket buffer before
+  /// the client is declared stalled and disconnected (0 = forever).
+  std::uint32_t write_timeout_ms = 10000;
+  /// Shrinks each accepted connection's SO_SNDBUF (0 = kernel default).
+  /// Tests use it to hit the stalled-reader path without megabytes of
+  /// pipelined responses.
+  std::uint32_t sndbuf_bytes = 0;
+  /// When a remote transport fails terminally mid-query, re-execute on
+  /// LocalTransport (`degraded=1` in the response) instead of surfacing the
+  /// transport error to the client.
+  bool degrade_to_local = true;
 };
 
 /// Monotonic serving counters (the `stats` verb and BENCH_serving).
@@ -68,6 +102,15 @@ struct ServerStats {
   /// Requests that rode along in a batch behind its head (> 0 proves the
   /// same-graph batcher actually coalesced concurrent queries).
   std::atomic<std::uint64_t> batched_requests{0};
+  /// Requests refused at admission because the queue was full.
+  std::atomic<std::uint64_t> shed{0};
+  /// Requests whose client deadline expired before (or between) service.
+  std::atomic<std::uint64_t> deadline_exceeded{0};
+  /// Queries transparently re-executed on LocalTransport after a terminal
+  /// remote-transport failure (the pool→local degradation ladder).
+  std::atomic<std::uint64_t> degraded{0};
+  /// Clients disconnected because they stopped draining their responses.
+  std::atomic<std::uint64_t> disconnected_slow{0};
 };
 
 class Server {
@@ -113,6 +156,10 @@ class Server {
     std::shared_ptr<Connection> conn;
     Message msg;
     std::string graph;  // batching key (the request's graph spec)
+    /// Absolute expiry derived from the client's deadline_ms at admission
+    /// (time_point::max() when the client named none).
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
   };
 
   void accept_loop();
@@ -120,9 +167,18 @@ class Server {
   void worker_loop();
   void serve_batch(std::vector<Request>& batch);
   /// Handles one query on its (locked) graph entry; returns the response.
-  Message handle_query(GraphStore::Entry& entry, const Message& req);
+  /// `force_local` overrides the request's transport choice with
+  /// LocalTransport (the degradation retry).
+  Message handle_query(GraphStore::Entry& entry, const Message& req,
+                       bool force_local);
   Message handle_stats();
+  Message handle_fault(const Message& req);
+  /// error response with the typed `code` field; bumps the errors counter.
+  Message error_response(const std::string& code, const std::string& message);
   void send_response(Connection& conn, const Message& resp);
+  /// error_response + id echo + send, in one call (admission paths).
+  void send_error(Connection& conn, const Message& req,
+                  const std::string& code, const std::string& message);
 
   ServerOptions opts_;
   GraphStore store_;

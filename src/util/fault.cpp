@@ -1,0 +1,317 @@
+#include "util/fault.hpp"
+
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace gdiam::util::fault {
+
+namespace {
+
+enum class Kind : std::uint8_t { kErrno, kDelay, kShort, kKill };
+
+/// One armed fault point. The table is fixed-size and lock-free on the hit
+/// path (plain strcmp scan + atomic counters): arming happens before the
+/// faulted traffic in every use, and — critically — a pool worker forked
+/// mid-run must be able to cross its own sites without touching a mutex a
+/// coordinator thread might have held at fork time.
+struct Site {
+  char name[48] = {0};
+  Kind kind = Kind::kErrno;
+  int err = EIO;       // kErrno
+  int delay_ms = 50;   // kDelay
+  std::uint64_t nth = 0;   // fire on this hit only (1-based); 0 = every hit
+  double prob = 0.0;       // fire per hit with this probability (0 = off)
+  std::uint64_t seed = 1;  // seeds the per-hit probability hash
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fired{0};
+};
+
+constexpr std::size_t kMaxSites = 16;
+Site g_sites[kMaxSites];
+
+void sleep_ms(int ms) noexcept {
+  timespec ts{ms / 1000, static_cast<long>(ms % 1000) * 1000000L};
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+/// SplitMix64 of (seed, hit): the per-hit coin for `%p:seed` triggers. A
+/// pure function of its inputs, so the same schedule fires identically in
+/// every process and on every replay.
+double hit_coin(std::uint64_t seed, std::uint64_t hit) noexcept {
+  std::uint64_t z = seed * 0x9e3779b97f4a7c15ULL + hit;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+int parse_errno_name(const std::string& s) {
+  // The errnos chaos schedules actually want, plus raw numbers.
+  if (s == "EIO") return EIO;
+  if (s == "EPIPE") return EPIPE;
+  if (s == "ECONNRESET") return ECONNRESET;
+  if (s == "ECONNREFUSED") return ECONNREFUSED;
+  if (s == "EAGAIN") return EAGAIN;
+  if (s == "EINTR") return EINTR;
+  if (s == "ENOMEM") return ENOMEM;
+  if (s == "ETIMEDOUT") return ETIMEDOUT;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v <= 0) {
+    throw std::invalid_argument("fault: unknown errno '" + s + "'");
+  }
+  return static_cast<int>(v);
+}
+
+/// Parses one `site=kind[:arg][@N|%p[:seed]]` point into `out`.
+void parse_point(const std::string& point, Site& out) {
+  const std::size_t eq = point.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw std::invalid_argument("fault: expected site=action, got '" + point +
+                                "'");
+  }
+  const std::string site = point.substr(0, eq);
+  if (site.size() >= sizeof out.name) {
+    throw std::invalid_argument("fault: site name too long: '" + site + "'");
+  }
+  std::string action = point.substr(eq + 1);
+
+  // Split the trigger suffix off first: '@N' or '%p[:seed]'.
+  const std::size_t at = action.find('@');
+  const std::size_t pct = action.find('%');
+  std::string trigger;
+  char trigger_kind = 0;
+  if (at != std::string::npos) {
+    trigger = action.substr(at + 1);
+    trigger_kind = '@';
+    action.resize(at);
+  } else if (pct != std::string::npos) {
+    trigger = action.substr(pct + 1);
+    trigger_kind = '%';
+    action.resize(pct);
+  }
+
+  const std::size_t colon = action.find(':');
+  const std::string kind = action.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : action.substr(colon + 1);
+  if (kind == "errno") {
+    out.kind = Kind::kErrno;
+    if (!arg.empty()) out.err = parse_errno_name(arg);
+  } else if (kind == "delay") {
+    out.kind = Kind::kDelay;
+    if (!arg.empty()) {
+      out.delay_ms = std::atoi(arg.c_str());
+      if (out.delay_ms <= 0) {
+        throw std::invalid_argument("fault: bad delay '" + arg + "'");
+      }
+    }
+  } else if (kind == "short") {
+    out.kind = Kind::kShort;
+    if (!arg.empty()) {
+      throw std::invalid_argument("fault: short takes no argument");
+    }
+  } else if (kind == "kill") {
+    out.kind = Kind::kKill;
+    if (!arg.empty()) {
+      throw std::invalid_argument("fault: kill takes no argument");
+    }
+  } else {
+    throw std::invalid_argument("fault: unknown action '" + kind + "'");
+  }
+
+  if (trigger_kind == '@') {
+    char* end = nullptr;
+    out.nth = std::strtoull(trigger.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || out.nth == 0) {
+      throw std::invalid_argument("fault: bad hit trigger '@" + trigger + "'");
+    }
+  } else if (trigger_kind == '%') {
+    const std::size_t sc = trigger.find(':');
+    char* end = nullptr;
+    out.prob = std::strtod(trigger.c_str(), &end);
+    if (end == nullptr ||
+        static_cast<std::size_t>(end - trigger.c_str()) !=
+            (sc == std::string::npos ? trigger.size() : sc) ||
+        out.prob <= 0.0 || out.prob > 1.0) {
+      throw std::invalid_argument("fault: bad probability '%" + trigger + "'");
+    }
+    if (sc != std::string::npos) {
+      out.seed = std::strtoull(trigger.c_str() + sc + 1, &end, 10);
+      if (end == nullptr || *end != '\0') {
+        throw std::invalid_argument("fault: bad seed in '%" + trigger + "'");
+      }
+    }
+  }
+  std::memcpy(out.name, site.c_str(), site.size() + 1);
+}
+
+const char* kind_name(Kind k) noexcept {
+  switch (k) {
+    case Kind::kErrno: return "errno";
+    case Kind::kDelay: return "delay";
+    case Kind::kShort: return "short";
+    case Kind::kKill: return "kill";
+  }
+  return "?";
+}
+
+Site* find(const std::string& site) noexcept {
+  const std::uint32_t n = detail::g_armed.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n && i < kMaxSites; ++i) {
+    if (site == g_sites[i].name) return &g_sites[i];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<std::uint32_t> g_armed{0};
+
+Outcome check_slow(const char* site, pid_t victim) noexcept {
+  const std::uint32_t n = g_armed.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n && i < kMaxSites; ++i) {
+    Site& s = g_sites[i];
+    if (std::strcmp(site, s.name) != 0) continue;
+    const std::uint64_t hit =
+        s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    bool fire = true;
+    if (s.nth != 0) {
+      fire = hit == s.nth;
+    } else if (s.prob > 0.0) {
+      fire = hit_coin(s.seed, hit) < s.prob;
+    }
+    if (!fire) return {};
+    s.fired.fetch_add(1, std::memory_order_relaxed);
+    switch (s.kind) {
+      case Kind::kErrno:
+        errno = s.err;
+        return {.fail = true};
+      case Kind::kDelay:
+        sleep_ms(s.delay_ms);
+        return {};
+      case Kind::kShort:
+        return {.short_io = true};
+      case Kind::kKill:
+        ::kill(victim > 0 ? victim : ::getpid(), SIGKILL);
+        if (victim <= 0) ::pause();  // self-kill: never execute another line
+        return {};
+    }
+  }
+  return {};
+}
+
+}  // namespace detail
+
+void arm(const std::string& spec) {
+  // Parse into a staging table first: a malformed spec must not tear down
+  // (or half-replace) the armed schedule.
+  Site staged[kMaxSites];
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t sep = spec.find(';', pos);
+    if (sep == std::string::npos) sep = spec.size();
+    if (sep > pos) {
+      if (count >= kMaxSites) {
+        throw std::invalid_argument("fault: too many points (max " +
+                                    std::to_string(kMaxSites) + ")");
+      }
+      parse_point(spec.substr(pos, sep - pos), staged[count]);
+      ++count;
+    }
+    pos = sep + 1;
+  }
+  disarm();
+  for (std::size_t i = 0; i < count; ++i) {
+    Site& d = g_sites[i];
+    std::memcpy(d.name, staged[i].name, sizeof d.name);
+    d.kind = staged[i].kind;
+    d.err = staged[i].err;
+    d.delay_ms = staged[i].delay_ms;
+    d.nth = staged[i].nth;
+    d.prob = staged[i].prob;
+    d.seed = staged[i].seed;
+    d.hits.store(0, std::memory_order_relaxed);
+    d.fired.store(0, std::memory_order_relaxed);
+  }
+  detail::g_armed.store(static_cast<std::uint32_t>(count),
+                        std::memory_order_release);
+}
+
+bool arm_from_env() noexcept {
+  const char* spec = std::getenv("GDIAM_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') return true;
+  try {
+    arm(spec);
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "GDIAM_FAULTS ignored: %s\n", e.what());
+    return false;
+  }
+}
+
+void disarm() noexcept {
+  detail::g_armed.store(0, std::memory_order_release);
+}
+
+bool armed() noexcept {
+  return detail::g_armed.load(std::memory_order_acquire) != 0;
+}
+
+std::uint64_t fired(const std::string& site) noexcept {
+  const Site* s = find(site);
+  return s != nullptr ? s->fired.load(std::memory_order_relaxed) : 0;
+}
+
+std::uint64_t hits(const std::string& site) noexcept {
+  const Site* s = find(site);
+  return s != nullptr ? s->hits.load(std::memory_order_relaxed) : 0;
+}
+
+std::string describe() {
+  std::string out;
+  const std::uint32_t n = detail::g_armed.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n && i < kMaxSites; ++i) {
+    const Site& s = g_sites[i];
+    out += s.name;
+    out += '=';
+    out += kind_name(s.kind);
+    if (s.kind == Kind::kErrno) {
+      out += ':';
+      out += std::to_string(s.err);
+    }
+    if (s.kind == Kind::kDelay) {
+      out += ':';
+      out += std::to_string(s.delay_ms);
+    }
+    if (s.nth != 0) {
+      out += '@';
+      out += std::to_string(s.nth);
+    }
+    if (s.prob > 0.0) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%%%g:%llu", s.prob,
+                    static_cast<unsigned long long>(s.seed));
+      out += buf;
+    }
+    out += " hits=";
+    out += std::to_string(s.hits.load(std::memory_order_relaxed));
+    out += " fired=";
+    out += std::to_string(s.fired.load(std::memory_order_relaxed));
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gdiam::util::fault

@@ -1,5 +1,6 @@
 #include "util/net.hpp"
 
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -10,6 +11,8 @@
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+
+#include "util/fault.hpp"
 
 namespace gdiam::util::net {
 
@@ -26,8 +29,9 @@ void sleep_ms(int ms) noexcept {
 
 }  // namespace
 
-bool write_all(int fd, const void* data, std::size_t len) noexcept {
-  const char* p = static_cast<const char*>(data);
+namespace {
+
+bool write_all_raw(int fd, const char* p, std::size_t len) noexcept {
   bool use_send = true;  // downgraded once if fd is not a socket
   while (len > 0) {
     ssize_t n;
@@ -50,8 +54,77 @@ bool write_all(int fd, const void* data, std::size_t len) noexcept {
   return true;
 }
 
+}  // namespace
+
+bool write_all(int fd, const void* data, std::size_t len) noexcept {
+  const char* p = static_cast<const char*>(data);
+  const fault::Outcome f = fault::check("net.send");
+  if (f.fail) return false;  // errno set by the fault point
+  if (f.short_io) {
+    // Torn frame: put a real prefix on the wire (the peer sees a frame that
+    // stops mid-payload), then report the peer gone.
+    if (len > 1) write_all_raw(fd, p, len / 2);
+    errno = EPIPE;
+    return false;
+  }
+  return write_all_raw(fd, p, len);
+}
+
+bool write_all_timeout(int fd, const void* data, std::size_t len,
+                       int timeout_ms) noexcept {
+  if (timeout_ms <= 0) return write_all(fd, data, len);
+  const char* p = static_cast<const char*>(data);
+  const fault::Outcome f = fault::check("net.send");
+  if (f.fail) return false;
+  if (f.short_io) {
+    if (len > 1) write_all_raw(fd, p, len / 2);
+    errno = EPIPE;
+    return false;
+  }
+  int remaining = timeout_ms;
+  while (len > 0) {
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      p += n;
+      len -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) return false;
+    // Socket buffer full: wait (bounded) for the peer to drain it. A peer
+    // that never reads is a stalled client, not a reason to wedge a server
+    // thread forever.
+    if (remaining <= 0) {
+      errno = ETIMEDOUT;
+      return false;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int slice = remaining < 100 ? remaining : 100;
+    const int r = ::poll(&pfd, 1, slice);
+    if (r < 0 && errno != EINTR) return false;
+    remaining -= slice;
+  }
+  return true;
+}
+
 bool read_exact(int fd, void* data, std::size_t len) noexcept {
   char* p = static_cast<char*>(data);
+  const fault::Outcome f = fault::check("net.recv");
+  if (f.fail) return false;  // errno set by the fault point
+  if (f.short_io) {
+    // Peer gone mid-frame: consume (and drop) a prefix of the stream so the
+    // connection is genuinely desynced, then report EOF-in-frame.
+    if (len > 1) {
+      std::size_t part = len / 2;
+      while (part > 0) {
+        const ssize_t n = ::read(fd, p, part);
+        if (n <= 0) break;
+        part -= static_cast<std::size_t>(n);
+      }
+    }
+    errno = 0;
+    return false;
+  }
   while (len > 0) {
     const ssize_t n = ::read(fd, p, len);
     if (n < 0) {
@@ -96,36 +169,61 @@ void append_u64(std::vector<std::byte>& out, std::uint64_t v) {
 }
 
 int ReapResult::exit_code() const noexcept {
-  if (!reaped || sigkilled) return -1;
+  if (!reaped || sigtermed || sigkilled) return -1;
   if (!WIFEXITED(status)) return -1;
   return WEXITSTATUS(status);
 }
 
-ReapResult reap_child(pid_t pid, int timeout_ms) noexcept {
-  ReapResult out;
+namespace {
+
+/// WNOHANG poll for up to `timeout_ms`, EINTR-clean. Returns 1 when the
+/// child was reaped into `out`, 0 on deadline, -1 when there is no such
+/// child to wait for (ECHILD: already reaped elsewhere).
+int poll_reap(pid_t pid, int timeout_ms, ReapResult& out) noexcept {
   int waited = 0;
   for (;;) {
     const pid_t r = ::waitpid(pid, &out.status, WNOHANG);
     if (r == pid) {
       out.reaped = true;
-      return out;
+      return 1;
     }
-    if (r < 0 && errno != EINTR) return out;  // ECHILD: already reaped
-    if (waited >= timeout_ms) break;
+    if (r < 0) {
+      if (errno == EINTR) continue;  // signal hit the poll, not the child
+      return -1;                     // ECHILD
+    }
+    if (waited >= timeout_ms) return 0;
     // Coarse 1ms poll: teardown is rare and the common case (child already
     // exited) never sleeps at all.
     sleep_ms(1);
     waited += 1;
   }
-  // Deadline expired: the child is wedged. Kill it and reap the corpse —
-  // SIGKILL cannot be ignored, so this final wait is bounded in practice.
+}
+
+}  // namespace
+
+ReapResult reap_child(pid_t pid, int timeout_ms) noexcept {
+  ReapResult out;
+  int r = poll_reap(pid, timeout_ms, out);
+  if (r != 0) return out;
+  // Deadline expired: the child is wedged. SIGTERM first — a stuck-but-
+  // cooperative child (blocked on a dead socket, say) can still run its
+  // cleanup — with a short grace before the hammer.
+  out.sigtermed = true;
+  ::kill(pid, SIGTERM);
+  const int grace_ms = timeout_ms < 1000 ? (timeout_ms > 0 ? timeout_ms : 1)
+                                         : 1000;
+  r = poll_reap(pid, grace_ms, out);
+  if (r != 0) return out;
+  // SIGTERM ignored or handled into a hang: SIGKILL cannot be, so this
+  // final blocking wait is bounded in practice — the stuck child is
+  // escalated away, never leaked.
   out.sigkilled = true;
   ::kill(pid, SIGKILL);
-  pid_t r;
+  pid_t w;
   do {
-    r = ::waitpid(pid, &out.status, 0);
-  } while (r < 0 && errno == EINTR);
-  out.reaped = (r == pid);
+    w = ::waitpid(pid, &out.status, 0);
+  } while (w < 0 && errno == EINTR);
+  out.reaped = (w == pid);
   return out;
 }
 

@@ -12,12 +12,18 @@
 //     EPIPE return value the caller can handle, never a process-killing
 //     signal;
 //   * zombie children — reap_child waits with a *bounded* deadline,
-//     escalating to SIGKILL rather than hanging teardown forever on a
-//     wedged worker.
+//     escalating SIGTERM → SIGKILL rather than hanging teardown forever on
+//     a wedged worker.
 //
 // The helpers are deliberately exception-free at the I/O layer (bool/EOF
 // returns); callers own the error story (ProcessTransport turns failures
 // into one root-cause error, PoolTransport into a worker restart).
+//
+// write_all and read_exact carry the "net.send" / "net.recv" fault points
+// (util/fault.hpp, DESIGN.md §12): an armed schedule can fail them with an
+// errno, delay them, or tear the frame mid-transfer — which is how the
+// chaos suite drives every torn-frame and peer-gone recovery path above
+// from outside, deterministically.
 
 #include <sys/types.h>
 
@@ -33,6 +39,13 @@ namespace gdiam::util::net {
 /// of SIGPIPE. Returns false (with errno set) when the peer is gone or the
 /// descriptor is broken.
 bool write_all(int fd, const void* data, std::size_t len) noexcept;
+
+/// Like write_all, but gives up after `timeout_ms` of the peer not draining
+/// its socket (errno = ETIMEDOUT) instead of blocking forever on a stalled
+/// reader. Socket fds only (uses MSG_DONTWAIT + poll). timeout_ms <= 0
+/// degrades to plain write_all.
+bool write_all_timeout(int fd, const void* data, std::size_t len,
+                       int timeout_ms) noexcept;
 
 /// Reads exactly `len` bytes into `data`. Returns false on EOF or error
 /// (errno == 0 distinguishes clean EOF from a real error).
@@ -53,16 +66,20 @@ void append_u64(std::vector<std::byte>& out, std::uint64_t v);
 /// Outcome of reaping one child process.
 struct ReapResult {
   bool reaped = false;      // waitpid succeeded (false: no such child)
-  bool sigkilled = false;   // deadline expired; child was SIGKILLed
+  bool sigtermed = false;   // deadline expired; child was sent SIGTERM
+  bool sigkilled = false;   // SIGTERM grace expired too; child was SIGKILLed
   int status = 0;           // raw waitpid status when reaped
-  /// Exit code when the child exited normally, otherwise -1 (signal death
-  /// and SIGKILL escalations are never "success").
+  /// Exit code when the child exited normally *without escalation*,
+  /// otherwise -1 (signal death and TERM/KILL escalations are never
+  /// "success" — a dead-but-zero-looking worker is silent data loss).
   [[nodiscard]] int exit_code() const noexcept;
 };
 
-/// Reaps `pid` with a bounded wait: polls WNOHANG for up to `timeout_ms`,
-/// then SIGKILLs and does one final blocking wait. Never hangs on a wedged
-/// child, never leaks a zombie for a killable one.
+/// Reaps `pid` with a bounded, EINTR-clean wait: polls WNOHANG for up to
+/// `timeout_ms`, then escalates SIGTERM (a wedged-but-cooperative child can
+/// still clean up), grants a short grace, then SIGKILLs and does one final
+/// blocking wait. Never hangs on a wedged child, never leaks a zombie or a
+/// stuck child for a killable one.
 ReapResult reap_child(pid_t pid, int timeout_ms) noexcept;
 
 /// Creates, binds and listens on an AF_UNIX stream socket at `path`

@@ -22,6 +22,7 @@
 #include "analysis/hop.hpp"
 #include "gdiam.hpp"
 #include "serve/render.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -379,6 +380,9 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   try {
+    // Chaos runs drive the one-shot CLI through the same fault schedules as
+    // the daemon (GDIAM_FAULTS; DESIGN.md §12).
+    util::fault::arm_from_env();
     const util::Options opts(argc, argv);
     if (cmd == "generate") return cmd_generate(opts);
     if (cmd == "stats") return cmd_stats(opts);
