@@ -6,6 +6,8 @@
 #include <span>
 
 #include "exec/context.hpp"
+#include "mr/placement.hpp"
+#include "util/topology.hpp"
 
 namespace gdiam::core {
 
@@ -20,10 +22,13 @@ GrowingEngine::GrowingEngine(const Graph& g, GrowingPolicy policy,
       owned_partition_ = std::make_unique<mr::Partition>(g_, popts_);
       partition_ = owned_partition_.get();
     }
-    transport_ =
-        mr::Launcher::make_transport(topts_, partition_->num_partitions());
+    mr::PlacementPlan plan = mr::resolve_placement(
+        popts_placement_, partition_->num_partitions());
+    transport_ = mr::Launcher::make_transport(
+        topts_, partition_->num_partitions(), plan);
     bsp_ = std::make_unique<mr::BspEngine>(*partition_, transport_.get());
     exchange_.resize(partition_->num_partitions());
+    exchange_.set_node_map(plan.node_of_shard());
   }
   reset();
 }
@@ -34,9 +39,28 @@ void GrowingEngine::set_transport_options(const mr::TransportOptions& opts) {
     return;
   }
   topts_ = opts;
-  transport_ =
-      mr::Launcher::make_transport(topts_, partition_->num_partitions());
+  rebuild_transport();
+}
+
+void GrowingEngine::set_placement_options(const mr::PlacementOptions& opts) {
+  if (policy_ != GrowingPolicy::kPartitioned || opts == popts_placement_) {
+    popts_placement_ = opts;
+    return;
+  }
+  // The plan can also change under a fixed strategy when GDIAM_TOPOLOGY
+  // changed between runs on a pooled engine; rebuild_transport re-resolves
+  // it, so switching options is always sufficient to re-place.
+  popts_placement_ = opts;
+  rebuild_transport();
+}
+
+void GrowingEngine::rebuild_transport() {
+  mr::PlacementPlan plan =
+      mr::resolve_placement(popts_placement_, partition_->num_partitions());
+  transport_ = mr::Launcher::make_transport(
+      topts_, partition_->num_partitions(), plan);
   bsp_ = std::make_unique<mr::BspEngine>(*partition_, transport_.get());
+  exchange_.set_node_map(plan.node_of_shard());
 }
 
 void GrowingEngine::reset() {
@@ -169,9 +193,16 @@ void GrowingEngine::ensure_split(Weight threshold) {
     if (ctx_ != nullptr) {
       shard_splits_ = &ctx_->shard_splits_for(g_, popts_, threshold);
     } else {
+      // First-touch each shard's split on its placement node, mirroring the
+      // context-backed path (exec::Context::shard_splits_for). No-op binds
+      // under an inactive plan.
+      const mr::PlacementPlan plan = mr::resolve_placement(
+          popts_placement_, partition_->num_partitions());
       shard_splits_own_.clear();
       shard_splits_own_.reserve(partition_->num_partitions());
-      for (const mr::Shard& sh : partition_->shards()) {
+      for (mr::ShardId s = 0; s < partition_->num_partitions(); ++s) {
+        const mr::Shard& sh = partition_->shards()[s];
+        util::topo::ScopedAffinity bind(plan.cpus_of_node(plan.node_of(s)));
         shard_splits_own_.push_back(
             presplit_csr(sh.offsets, sh.targets, sh.weights, threshold));
       }
@@ -709,6 +740,8 @@ GrowingStepResult GrowingEngine::step_partitioned(
   }
   out.cross_messages = traffic.cross_messages;
   out.cross_bytes = traffic.cross_bytes;
+  out.cross_node_messages = traffic.cross_node_messages;
+  out.cross_node_bytes = traffic.cross_node_bytes;
   out.wire_messages = traffic.wire_messages;
   out.wire_bytes = traffic.wire_bytes;
   return out;
@@ -863,6 +896,8 @@ GrowingStepResult GrowingEngine::step_partitioned_adaptive(
   }
   out.cross_messages = traffic.cross_messages;
   out.cross_bytes = traffic.cross_bytes;
+  out.cross_node_messages = traffic.cross_node_messages;
+  out.cross_node_bytes = traffic.cross_node_bytes;
   out.wire_messages = traffic.wire_messages;
   out.wire_bytes = traffic.wire_bytes;
   return out;

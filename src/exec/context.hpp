@@ -179,25 +179,34 @@ class Context {
   /// covers a run while bounding a context reused across many graphs.
   static constexpr std::size_t kMaxSplits = 32;
 
+  // Every entry also carries the placement fingerprint
+  // (mr::placement_fingerprint of the context's options at build time): a
+  // cached layout is first-touched for one (strategy, topology), and serving
+  // it after a --placement or GDIAM_TOPOLOGY change would silently keep the
+  // old page placement. 0 (placement off) reproduces the old keys exactly.
   struct SplitEntry {
     GraphKey key;
     Weight delta = 0.0;
+    std::uint64_t pfp = 0;
     std::unique_ptr<SplitCsr> split;
   };
   struct PartitionEntry {
     GraphKey key;
     mr::PartitionOptions opts;
+    std::uint64_t pfp = 0;
     std::unique_ptr<mr::Partition> partition;
   };
   struct ShardSplitEntry {
     const mr::Partition* partition = nullptr;  // stable: never evicted
     Weight delta = 0.0;
+    std::uint64_t pfp = 0;
     std::unique_ptr<std::vector<CsrSplit>> splits;
   };
   struct EngineEntry {
     GraphKey key;
     core::GrowingPolicy policy;
     mr::PartitionOptions popts;
+    std::uint64_t pfp = 0;
     std::unique_ptr<core::GrowingEngine> engine;
   };
 

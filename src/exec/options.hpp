@@ -58,6 +58,13 @@ struct ExecOptions {
   /// with RoundStats additionally reporting the genuinely-crossed wire
   /// bytes. Only the partitioned backends read it.
   mr::TransportOptions transport;
+  /// NUMA-aware shard placement (mr/placement.hpp, DESIGN.md §13): which
+  /// strategy maps shards onto the discovered topology (GDIAM_TOPOLOGY
+  /// override honored). kNone — the default — is the pre-placement behavior
+  /// verbatim. Placement moves memory and threads, never results: distances,
+  /// labels and model counters are bit-identical across strategies. Only the
+  /// partitioned BSP backends read it.
+  mr::PlacementOptions placement;
   /// Δ-presplit adjacency (graph/split_csr.hpp): iterate exactly the edge
   /// class a phase needs, no per-edge weight branch. `false` keeps the
   /// branch-filter loops — bit-identical, the A/B baseline.

@@ -1,0 +1,76 @@
+#include "mr/placement.hpp"
+
+#include "util/rng.hpp"
+
+namespace gdiam::mr {
+
+std::optional<PlacementStrategy> parse_placement_strategy(
+    std::string_view name) noexcept {
+  if (name == "none") return PlacementStrategy::kNone;
+  if (name == "round-robin") return PlacementStrategy::kRoundRobin;
+  if (name == "capacity") return PlacementStrategy::kCapacity;
+  return std::nullopt;
+}
+
+PlacementPlan PlacementPlan::make(const util::topo::Topology& topo,
+                                  std::uint32_t num_shards,
+                                  PlacementStrategy strategy) {
+  PlacementPlan plan;
+  if (strategy == PlacementStrategy::kNone || topo.num_nodes() == 0 ||
+      num_shards == 0) {
+    return plan;  // inactive
+  }
+  const std::uint32_t nodes = topo.num_nodes();
+  plan.cpus_of_node_ = topo.cpus_of_node;
+  plan.node_of_shard_.resize(num_shards);
+  if (strategy == PlacementStrategy::kRoundRobin) {
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      plan.node_of_shard_[s] = s % nodes;
+    }
+  } else {
+    // Capacity-balanced greedy: each shard (ascending id) goes to the node
+    // with the lowest prospective load-per-CPU; ties break to the lower node
+    // id. Deterministic, and proportional to CPU counts in the limit.
+    std::vector<std::uint32_t> assigned(nodes, 0);
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      std::uint32_t best = 0;
+      double best_ratio = 0.0;
+      for (std::uint32_t n = 0; n < nodes; ++n) {
+        const double cap =
+            static_cast<double>(std::max<std::size_t>(1, topo.cpus(n).size()));
+        const double ratio = static_cast<double>(assigned[n] + 1) / cap;
+        if (n == 0 || ratio < best_ratio) {
+          best = n;
+          best_ratio = ratio;
+        }
+      }
+      plan.node_of_shard_[s] = best;
+      ++assigned[best];
+    }
+  }
+  // Fingerprint: chain (strategy, K, topology structure). Never 0 for an
+  // active plan — 0 is the inactive sentinel the cache keys rely on.
+  std::uint64_t h = topo.fingerprint();
+  h = util::SplitMix64(h ^ static_cast<std::uint64_t>(strategy)).next();
+  h = util::SplitMix64(h ^ num_shards).next();
+  plan.fingerprint_ = h == 0 ? 1 : h;
+  return plan;
+}
+
+PlacementPlan resolve_placement(const PlacementOptions& opts,
+                                std::uint32_t num_shards) {
+  if (opts.strategy == PlacementStrategy::kNone) return {};
+  return PlacementPlan::make(util::topo::discover(), num_shards,
+                             opts.strategy);
+}
+
+std::uint64_t placement_fingerprint(const PlacementOptions& opts) {
+  if (opts.strategy == PlacementStrategy::kNone) return 0;
+  const std::uint64_t h =
+      util::SplitMix64(util::topo::discover().fingerprint() ^
+                       static_cast<std::uint64_t>(opts.strategy))
+          .next();
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace gdiam::mr

@@ -1,0 +1,135 @@
+#pragma once
+// NUMA-aware shard placement (DESIGN.md §13).
+//
+// A PlacementPlan maps the K shards of an mr::Partition onto the NUMA nodes
+// of a topology (util/topology.hpp). The plan is a *pure function* of
+// (topology, K, strategy) — no load feedback, no randomness — which is what
+// lets every layer agree on it independently: the Launcher groups workers by
+// it, the transports bind compute by it, exec::Context first-touches shard
+// layouts by it, and the Exchange tallies cross-node traffic by it, all
+// without passing a shared object around. Crucially, placement never touches
+// *what* is computed: distances, labels, estimates and every model-level
+// counter are bit-identical across strategies and topologies (pinned by
+// tests/test_topology.cpp); only where memory lands, where threads run, and
+// the placement-derived cross_node_* observability counters move.
+//
+// Strategies:
+//   * kNone       — the pre-placement behavior, verbatim: no plan, no
+//                   binding, no cross-node accounting. The default.
+//   * kRoundRobin — shard s lives on node s mod N. Spreads consecutive
+//                   shards (which a range partition makes neighbors) across
+//                   nodes, balancing bandwidth at the cost of locality.
+//   * kCapacity   — capacity-balanced: shards are assigned, in ascending
+//                   id order, each to the node with the lowest
+//                   (assigned + 1) / cpu_count ratio (ties to the lower node
+//                   id). On homogeneous nodes this interleaves like
+//                   round-robin; on asymmetric masks (cgroup carve-outs,
+//                   emulated specs) big nodes take proportionally more
+//                   shards.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "mr/partition.hpp"
+#include "util/topology.hpp"
+
+namespace gdiam::mr {
+
+enum class PlacementStrategy : std::uint8_t { kNone, kRoundRobin, kCapacity };
+
+[[nodiscard]] constexpr const char* to_string(PlacementStrategy s) noexcept {
+  switch (s) {
+    case PlacementStrategy::kNone: return "none";
+    case PlacementStrategy::kRoundRobin: return "round-robin";
+    case PlacementStrategy::kCapacity: return "capacity";
+  }
+  return "?";
+}
+
+/// "none" / "round-robin" / "capacity" → strategy; nullopt on anything else
+/// (callers own the error message — CLI usage() vs daemon bad_request).
+[[nodiscard]] std::optional<PlacementStrategy> parse_placement_strategy(
+    std::string_view name) noexcept;
+
+/// The placement knob carried by exec::ExecOptions (and inherited by every
+/// kernel option struct): which strategy maps shards onto the discovered
+/// topology. Only the partitioned BSP backends read it.
+struct PlacementOptions {
+  PlacementStrategy strategy = PlacementStrategy::kNone;
+
+  friend bool operator==(const PlacementOptions&,
+                         const PlacementOptions&) = default;
+};
+
+/// The materialized shard→node map plus the node CPU lists binding needs.
+/// Default-constructed (or strategy kNone) plans are *inactive*: node_of()
+/// is 0 everywhere, fingerprint() is 0, and every consumer behaves exactly
+/// as before placement existed.
+class PlacementPlan {
+ public:
+  PlacementPlan() = default;
+
+  /// Builds the plan for `num_shards` shards on `topo` under `strategy`.
+  /// Pure and deterministic (see the header comment); kNone — or an empty
+  /// topology — yields an inactive plan.
+  static PlacementPlan make(const util::topo::Topology& topo,
+                            std::uint32_t num_shards,
+                            PlacementStrategy strategy);
+
+  [[nodiscard]] bool active() const noexcept {
+    return !node_of_shard_.empty();
+  }
+  [[nodiscard]] std::uint32_t num_shards() const noexcept {
+    return static_cast<std::uint32_t>(node_of_shard_.size());
+  }
+  [[nodiscard]] std::uint32_t num_nodes() const noexcept {
+    return active() ? static_cast<std::uint32_t>(cpus_of_node_.size()) : 1;
+  }
+
+  /// NUMA node owning shard `s` (0 when inactive).
+  [[nodiscard]] std::uint32_t node_of(ShardId s) const noexcept {
+    return s < node_of_shard_.size() ? node_of_shard_[s] : 0;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& node_of_shard()
+      const noexcept {
+    return node_of_shard_;
+  }
+  /// CPUs of `node`; empty when inactive (binding becomes a no-op).
+  [[nodiscard]] const std::vector<int>& cpus_of_node(
+      std::uint32_t node) const noexcept {
+    static const std::vector<int> kEmpty;
+    return node < cpus_of_node_.size() ? cpus_of_node_[node] : kEmpty;
+  }
+
+  /// Pure function of (topology, K, strategy); 0 iff inactive. Feeds the
+  /// exec::Context layout-cache keys so arrays first-touched for one
+  /// placement are never served to another.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept {
+    return fingerprint_;
+  }
+
+  friend bool operator==(const PlacementPlan&, const PlacementPlan&) = default;
+
+ private:
+  std::vector<std::uint32_t> node_of_shard_;
+  std::vector<std::vector<int>> cpus_of_node_;
+  std::uint64_t fingerprint_ = 0;
+};
+
+/// The one-call entry point kernels use: discovers the topology
+/// (GDIAM_TOPOLOGY override honored) and builds the plan for `num_shards`.
+/// kNone short-circuits to an inactive plan without touching discovery.
+[[nodiscard]] PlacementPlan resolve_placement(const PlacementOptions& opts,
+                                              std::uint32_t num_shards);
+
+/// Fingerprint of what resolve_placement would produce, without fixing a
+/// shard count: hash of (strategy, discovered topology), 0 for kNone. The
+/// exec::Context mixes this into every layout-cache key — including the
+/// K-independent flat SplitCsr cache — so a --placement or GDIAM_TOPOLOGY
+/// change can never be served arrays first-touched under the old plan.
+[[nodiscard]] std::uint64_t placement_fingerprint(
+    const PlacementOptions& opts);
+
+}  // namespace gdiam::mr

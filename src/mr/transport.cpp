@@ -14,6 +14,7 @@
 
 #include "util/fault.hpp"
 #include "util/net.hpp"
+#include "util/topology.hpp"
 
 namespace gdiam::mr {
 
@@ -62,14 +63,40 @@ constexpr int kReapTimeoutMs = 5000;
 
 }  // namespace
 
-Launcher::Launcher(std::uint32_t num_shards, std::uint32_t processes)
-    : k_(std::max(1u, num_shards)), p_(std::max(1u, processes)) {
+Launcher::Launcher(std::uint32_t num_shards, std::uint32_t processes,
+                   PlacementPlan plan)
+    : k_(std::max(1u, num_shards)),
+      p_(std::max(1u, processes)),
+      plan_(std::move(plan)) {
   if (p_ > k_) p_ = k_;  // a worker with zero shards would be pure overhead
+  // A plan built for a different shard count can't describe these shards;
+  // degrade to inactive rather than misindex (defensive — callers build the
+  // plan from the same K they pass here).
+  if (plan_.active() && plan_.num_shards() != k_) plan_ = {};
+  order_.resize(k_);
+  std::iota(order_.begin(), order_.end(), 0u);
+  if (plan_.active()) {
+    // Placement order: (node, id). Grouping contiguously over this order is
+    // the "cheaper local path" routing — same-node shards pack into the same
+    // worker, so their traffic never crosses a node-bound process. Sorting
+    // by a pure function of the plan keeps the mapping deterministic.
+    std::sort(order_.begin(), order_.end(), [this](ShardId a, ShardId b) {
+      const std::uint32_t na = plan_.node_of(a), nb = plan_.node_of(b);
+      return na != nb ? na < nb : a < b;
+    });
+  }
+  group_of_.assign(k_, 0);
+  for (std::uint32_t p = 0; p < p_; ++p) {
+    const auto [first, last] = group(p);
+    for (std::uint32_t i = first; i < last; ++i) group_of_[order_[i]] = p;
+  }
 }
 
 std::pair<ShardId, ShardId> Launcher::group(std::uint32_t p) const {
-  // Ceil-balanced contiguous ranges: the first (k mod p) groups are one
-  // shard larger. Pure function of (K, P) — part of the determinism story.
+  // Ceil-balanced contiguous ranges over placement order: the first
+  // (k mod p) groups are one position larger. Pure function of (K, P) —
+  // part of the determinism story. With an inactive plan, positions are
+  // shard ids (identity order), the historical contract.
   const std::uint32_t base = k_ / p_;
   const std::uint32_t extra = k_ % p_;
   const std::uint32_t first = p * base + std::min(p, extra);
@@ -77,32 +104,66 @@ std::pair<ShardId, ShardId> Launcher::group(std::uint32_t p) const {
   return {first, first + size};
 }
 
-std::uint32_t Launcher::process_of(ShardId s) const {
-  const std::uint32_t base = k_ / p_;
-  const std::uint32_t extra = k_ % p_;
-  const std::uint32_t boundary = extra * (base + 1);  // end of the big groups
-  if (s < boundary) return s / (base + 1);
-  return extra + (s - boundary) / base;
+std::span<const ShardId> Launcher::shards_of(std::uint32_t p) const {
+  const auto [first, last] = group(p);
+  return std::span<const ShardId>(order_).subspan(first, last - first);
+}
+
+std::uint32_t Launcher::process_of(ShardId s) const { return group_of_[s]; }
+
+int Launcher::node_of_group(std::uint32_t p) const {
+  if (!plan_.active()) return -1;
+  const auto shards = shards_of(p);
+  if (shards.empty()) return -1;
+  const std::uint32_t node = plan_.node_of(shards.front());
+  for (const ShardId s : shards) {
+    if (plan_.node_of(s) != node) return -1;  // straddles nodes
+  }
+  return static_cast<int>(node);
+}
+
+std::vector<int> Launcher::cpus_of_group(std::uint32_t p) const {
+  std::vector<int> cpus;
+  if (!plan_.active()) return cpus;
+  for (const ShardId s : shards_of(p)) {
+    const auto& node_cpus = plan_.cpus_of_node(plan_.node_of(s));
+    cpus.insert(cpus.end(), node_cpus.begin(), node_cpus.end());
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
 }
 
 std::unique_ptr<Transport> Launcher::make_transport(
-    const TransportOptions& opts, std::uint32_t num_shards) {
+    const TransportOptions& opts, std::uint32_t num_shards,
+    PlacementPlan plan) {
   if (opts.kind == TransportKind::kProcess) {
     return std::make_unique<ProcessTransport>(
-        Launcher(num_shards, opts.processes));
+        Launcher(num_shards, opts.processes, std::move(plan)));
   }
   if (opts.kind == TransportKind::kPool) {
     return std::make_unique<PoolTransport>(
-        Launcher(num_shards, opts.processes));
+        Launcher(num_shards, opts.processes, std::move(plan)));
   }
-  return std::make_unique<LocalTransport>();
+  return std::make_unique<LocalTransport>(std::move(plan));
 }
 
 TransportStats LocalTransport::run_compute(const SuperstepPlan& plan) {
   const auto k = static_cast<std::int64_t>(plan.num_shards);
+  const bool pin = plan_.active() && plan_.num_shards() == plan.num_shards;
 #pragma omp parallel for schedule(dynamic, 1)
   for (std::int64_t s = 0; s < k; ++s) {
-    plan.compute(static_cast<ShardId>(s));
+    const auto shard = static_cast<ShardId>(s);
+    if (pin) {
+      // Pin this shard's compute to its node for the callback's duration;
+      // the mask is restored so the OpenMP team stays unperturbed for
+      // whatever runs next. Best-effort: a failed bind costs locality only.
+      util::topo::ScopedAffinity bind(
+          plan_.cpus_of_node(plan_.node_of(shard)));
+      plan.compute(shard);
+    } else {
+      plan.compute(shard);
+    }
   }
   return {};  // nothing crossed a process boundary
 }
@@ -147,11 +208,14 @@ TransportStats ProcessTransport::run_compute(const SuperstepPlan& plan) {
         // Fault point: a kill here is a worker crash before any output; an
         // errno makes this worker report a deterministic compute failure.
         if (fault::check("proc.worker").fail) throw std::runtime_error("");
-        const auto [first, last] = launcher_.group(p);
-        for (ShardId s = first; s < last; ++s) plan.compute(s);
+        // Node-bind the worker before compute (best-effort; cpus_of_group is
+        // empty without an active plan and the bind is a no-op).
+        util::topo::bind_current_thread(launcher_.cpus_of_group(p));
+        const auto shards = launcher_.shards_of(p);
+        for (const ShardId s : shards) plan.compute(s);
         std::vector<std::byte> frames;
         std::vector<std::byte> row;
-        for (ShardId s = first; s < last; ++s) {
+        for (const ShardId s : shards) {
           row.clear();
           plan.encode_row(s, row);
           net::append_u64(frames, row.size());
@@ -185,8 +249,7 @@ TransportStats ProcessTransport::run_compute(const SuperstepPlan& plan) {
         const std::vector<std::byte> stream = net::read_to_eof(rx[p]);
         out.wire_bytes += stream.size();
         Reader r{stream.data(), stream.data() + stream.size()};
-        const auto [first, last] = launcher_.group(p);
-        for (ShardId s = first; s < last; ++s) {
+        for (const ShardId s : launcher_.shards_of(p)) {
           const std::uint64_t row_len = r.u64();
           out.wire_messages += plan.decode_row(s, r.bytes(row_len), row_len);
           const std::uint64_t counter = r.u64();
@@ -238,6 +301,10 @@ pid_t PoolTransport::worker_pid(std::uint32_t p) const noexcept {
   return p < workers_.size() ? workers_[p].pid : -1;
 }
 
+int PoolTransport::worker_node(std::uint32_t p) const noexcept {
+  return p < workers_.size() ? workers_[p].node : -1;
+}
+
 void PoolTransport::stop_worker(Worker& w) noexcept {
   if (w.fd >= 0) {
     const char quit = 'Q';
@@ -277,10 +344,15 @@ void PoolTransport::spawn_worker(std::uint32_t p, const SuperstepPlan& plan) {
     for (const Worker& w : workers_) {
       if (w.fd >= 0) ::close(w.fd);
     }
+    // Node-bind before any compute (best-effort; no-op without a plan).
+    // Crash respawns re-enter here with the same launcher, so a replacement
+    // worker lands on the dead worker's node — the pool's placement is a
+    // pure function of (p, plan), not of the crash history.
+    util::topo::bind_current_thread(launcher_.cpus_of_group(p));
     worker_main(p, fds[1], plan);  // never returns
   }
   ::close(fds[1]);
-  workers_[p] = Worker{pid, fds[0]};
+  workers_[p] = Worker{pid, fds[0], launcher_.node_of_group(p)};
   ++spawns_;
 }
 
@@ -292,7 +364,7 @@ void PoolTransport::worker_main(std::uint32_t p, int fd,
   // returns, so nothing below it ever unwinds. All per-superstep variation
   // arrives through decode_input, which writes into storage that was
   // already allocated at fork time (the stable-address contract).
-  const auto [first, last] = launcher_.group(p);
+  const auto shards = launcher_.shards_of(p);
   std::vector<std::byte> input;
   std::vector<std::byte> frames;
   std::vector<std::byte> row;
@@ -306,7 +378,7 @@ void PoolTransport::worker_main(std::uint32_t p, int fd,
     // path); a delay stalls the step (the slow-worker path).
     fault::check("pool.worker.step");
     try {
-      for (ShardId s = first; s < last; ++s) {
+      for (const ShardId s : shards) {
         std::uint64_t len = 0;
         if (!net::read_u64(fd, len)) ::_exit(5);
         input.resize(len);
@@ -316,10 +388,10 @@ void PoolTransport::worker_main(std::uint32_t p, int fd,
         }
         if (plan.reset_row) plan.reset_row(s);
       }
-      for (ShardId s = first; s < last; ++s) plan.compute(s);
+      for (const ShardId s : shards) plan.compute(s);
       frames.clear();
       net::append_u64(frames, 0);  // status: ok
-      for (ShardId s = first; s < last; ++s) {
+      for (const ShardId s : shards) {
         row.clear();
         plan.encode_row(s, row);
         net::append_u64(frames, row.size());
@@ -347,9 +419,8 @@ bool PoolTransport::send_step(const Worker& w, std::uint32_t p,
   if (fault::check("pool.ship", w.pid).fail) return false;
   std::vector<std::byte> frame;
   frame.push_back(std::byte{'S'});
-  const auto [first, last] = launcher_.group(p);
   std::vector<std::byte> input;
-  for (ShardId s = first; s < last; ++s) {
+  for (const ShardId s : launcher_.shards_of(p)) {
     input.clear();
     if (plan.encode_input) plan.encode_input(s, input);
     net::append_u64(frame, input.size());
@@ -379,9 +450,8 @@ bool PoolTransport::recv_step(const Worker& w, std::uint32_t p,
                       std::to_string(status) + ")";
     return true;  // the worker is alive and told us why — don't retry
   }
-  const auto [first, last] = launcher_.group(p);
   std::vector<std::byte> row;
-  for (ShardId s = first; s < last; ++s) {
+  for (const ShardId s : launcher_.shards_of(p)) {
     std::uint64_t row_len = 0;
     if (!net::read_u64(w.fd, row_len)) return false;
     row.resize(row_len);

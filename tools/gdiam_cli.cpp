@@ -40,15 +40,15 @@ commands:
   estimate FILE [--tau T] [--seed S] [--cluster2] [--classic] [--pull]
            [--partitions K] [--range-partition] [--no-adaptive]
            [--sampled-frontier] [--transport local|process|pool]
-           [--processes P] [--repeat N]
-           [--reuse-context | --no-reuse-context]
+           [--processes P] [--placement none|round-robin|capacity]
+           [--repeat N] [--reuse-context | --no-reuse-context]
   decompose FILE --out CLUSTERING.gdcl [--tau T] [--seed S]
             [--quotient QUOTIENT_GRAPH_FILE]
   sssp     FILE [--source U] [--algorithm delta|rho] [--delta D] [--rho N]
            [--partitions K] [--range-partition] [--no-adaptive]
            [--sampled-frontier] [--transport local|process|pool]
-           [--processes P] [--repeat N]
-           [--reuse-context | --no-reuse-context]
+           [--processes P] [--placement none|round-robin|capacity]
+           [--repeat N] [--reuse-context | --no-reuse-context]
   convert  IN OUT
 
 --algorithm picks the stepping kernel: delta (Meyer-Sanders buckets of width
@@ -67,6 +67,13 @@ line gains the genuinely-crossed wire=.../... traffic. Requires
 --partitions K > 1. --transport pool keeps those P workers resident across
 supersteps (fork once, ship per-step inputs over persistent sockets) — the
 serving configuration gdiamd runs hot graphs on; results stay bit-identical.
+
+--placement maps the K shards onto the machine's NUMA nodes (round-robin or
+capacity-balanced; DESIGN.md section 13): shard compute is pinned to its
+node, shard layouts are first-touched there, and the cost line gains the
+xnode=.../... cross-node traffic. The GDIAM_TOPOLOGY env var overrides the
+detected topology (e.g. "0-3;4-7"). Distances and model counters are
+bit-identical across placements; requires --partitions K > 1.
 
 --no-adaptive disables the adaptive sparse/dense frontier engine and runs
 the legacy full-scan round paths (A/B baseline; results are identical, the
@@ -138,6 +145,21 @@ mr::TransportOptions parse_transport(const util::Options& o,
     }
   }
   return t;
+}
+
+/// Shared --placement parsing (estimate and sssp). Placement only exists
+/// behind the BSP engine, so a non-none strategy requires --partitions K > 1.
+mr::PlacementOptions parse_placement(const util::Options& o,
+                                     const mr::PartitionOptions& p) {
+  mr::PlacementOptions pl;
+  const std::string name = o.get_string("placement", "none");
+  const auto strategy = mr::parse_placement_strategy(name);
+  if (!strategy) usage("--placement must be none, round-robin or capacity");
+  pl.strategy = *strategy;
+  if (pl.strategy != mr::PlacementStrategy::kNone && p.num_partitions <= 1) {
+    usage("--placement requires --partitions K > 1");
+  }
+  return pl;
 }
 
 /// Shared --repeat / --reuse-context / --no-reuse-context parsing.
@@ -264,6 +286,7 @@ int cmd_estimate(const util::Options& o) {
     opt.cluster.policy = core::GrowingPolicy::kPartitioned;
   }
   opt.cluster.transport = parse_transport(o, opt.cluster.partition);
+  opt.cluster.placement = parse_placement(o, opt.cluster.partition);
   opt.cluster.frontier.adaptive = !o.get_bool("no-adaptive", false);
   opt.cluster.frontier.sampled_size_estimate =
       o.get_bool("sampled-frontier", false);
@@ -339,6 +362,7 @@ int cmd_sssp(const util::Options& o) {
   opt.rho = static_cast<std::uint64_t>(o.get_int("rho", 0));
   opt.partition = parse_partition(o);
   opt.transport = parse_transport(o, opt.partition);
+  opt.placement = parse_placement(o, opt.partition);
   opt.frontier.adaptive = !o.get_bool("no-adaptive", false);
   opt.frontier.sampled_size_estimate = o.get_bool("sampled-frontier", false);
   const RepeatOptions rep = parse_repeat(o);

@@ -122,6 +122,24 @@ def test_speedup_metadata_drop_is_gated_but_other_metadata_is_not():
         assert r.returncode == 0, r.stdout + r.stderr
 
 
+def test_numa_placement_speedup_drop_warns_without_gating():
+    with tempfile.TemporaryDirectory() as d:
+        base = write_json(
+            d, "base.json",
+            bench_doc({"BM_X": 1.0}, numa_placement_speedup_rmat=1.6),
+        )
+        cand = write_json(
+            d, "cand.json",
+            bench_doc({"BM_X": 1.0}, numa_placement_speedup_rmat=0.9),
+        )
+        # A drop well beyond tolerance: advisory WARN line, exit code 0 even
+        # without --warn-only (single-node CI noise must not gate the build).
+        r = run_diff(base, cand, "--tolerance", "0.15")
+        assert r.returncode == 0, r.stdout + r.stderr
+        assert "WARN (advisory" in r.stdout, r.stdout
+        assert "REGRESSION" not in r.stdout, r.stdout
+
+
 def test_kernel_missing_from_candidate_counts_as_regression():
     with tempfile.TemporaryDirectory() as d:
         base = write_json(d, "base.json", bench_doc({"BM_X": 1.0, "BM_GONE": 1.0}))
