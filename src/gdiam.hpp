@@ -28,6 +28,7 @@
 #include "gen/rmat.hpp"        // IWYU pragma: export
 #include "gen/road.hpp"        // IWYU pragma: export
 #include "gen/weights.hpp"     // IWYU pragma: export
+#include "graph/binfmt.hpp"    // IWYU pragma: export
 #include "graph/builder.hpp"   // IWYU pragma: export
 #include "graph/components.hpp"  // IWYU pragma: export
 #include "graph/graph.hpp"     // IWYU pragma: export

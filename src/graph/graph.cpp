@@ -2,50 +2,149 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace gdiam {
 
+Graph::Graph() : offsets_own_{0} { rebind_views(); }
+
 Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<NodeId> targets,
              std::vector<Weight> weights)
-    : offsets_(std::move(offsets)),
-      targets_(std::move(targets)),
-      weights_(std::move(weights)) {
-  if (offsets_.empty()) offsets_.push_back(0);
-  if (offsets_.back() != targets_.size() ||
-      targets_.size() != weights_.size()) {
+    : offsets_own_(std::move(offsets)),
+      targets_own_(std::move(targets)),
+      weights_own_(std::move(weights)) {
+  if (offsets_own_.empty()) offsets_own_.push_back(0);
+  if (offsets_own_.back() != targets_own_.size() ||
+      targets_own_.size() != weights_own_.size()) {
     throw std::invalid_argument("Graph: inconsistent CSR array sizes");
   }
+  rebind_views();
   compute_weight_stats();
 }
 
+Graph::Graph(std::span<const EdgeIndex> offsets,
+             std::span<const NodeId> targets, std::span<const Weight> weights,
+             std::shared_ptr<const void> backing, Weight min_weight,
+             Weight max_weight, Weight avg_weight)
+    : backing_(std::move(backing)),
+      offsets_v_(offsets),
+      targets_v_(targets),
+      weights_v_(weights),
+      min_weight_(min_weight),
+      max_weight_(max_weight),
+      avg_weight_(avg_weight) {
+  if (backing_ == nullptr) {
+    throw std::invalid_argument("Graph: mapped view requires a keep-alive");
+  }
+  if (offsets_v_.empty() || offsets_v_.back() != targets_v_.size() ||
+      targets_v_.size() != weights_v_.size()) {
+    throw std::invalid_argument("Graph: inconsistent mapped CSR array sizes");
+  }
+}
+
+Graph::Graph(const Graph& other)
+    : offsets_own_(other.offsets_own_),
+      targets_own_(other.targets_own_),
+      weights_own_(other.weights_own_),
+      backing_(other.backing_),
+      min_weight_(other.min_weight_),
+      max_weight_(other.max_weight_),
+      avg_weight_(other.avg_weight_) {
+  if (backing_ != nullptr) {
+    // Mapped: the copy shares the mapping, views stay valid as-is.
+    offsets_v_ = other.offsets_v_;
+    targets_v_ = other.targets_v_;
+    weights_v_ = other.weights_v_;
+  } else {
+    rebind_views();  // owned: views must point at *our* vector copies
+  }
+}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this != &other) {
+    Graph tmp(other);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : offsets_own_(std::move(other.offsets_own_)),
+      targets_own_(std::move(other.targets_own_)),
+      weights_own_(std::move(other.weights_own_)),
+      backing_(std::move(other.backing_)),
+      // Vector move transfers the heap buffer, so views into it stay valid.
+      offsets_v_(other.offsets_v_),
+      targets_v_(other.targets_v_),
+      weights_v_(other.weights_v_),
+      min_weight_(other.min_weight_),
+      max_weight_(other.max_weight_),
+      avg_weight_(other.avg_weight_) {
+  other.reset_to_empty();
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this != &other) {
+    offsets_own_ = std::move(other.offsets_own_);
+    targets_own_ = std::move(other.targets_own_);
+    weights_own_ = std::move(other.weights_own_);
+    backing_ = std::move(other.backing_);
+    offsets_v_ = other.offsets_v_;
+    targets_v_ = other.targets_v_;
+    weights_v_ = other.weights_v_;
+    min_weight_ = other.min_weight_;
+    max_weight_ = other.max_weight_;
+    avg_weight_ = other.avg_weight_;
+    other.reset_to_empty();
+  }
+  return *this;
+}
+
+void Graph::rebind_views() noexcept {
+  offsets_v_ = offsets_own_;
+  targets_v_ = targets_own_;
+  weights_v_ = weights_own_;
+}
+
+void Graph::reset_to_empty() noexcept {
+  offsets_own_.clear();
+  offsets_own_.push_back(0);
+  targets_own_.clear();
+  weights_own_.clear();
+  backing_.reset();
+  rebind_views();
+  min_weight_ = max_weight_ = avg_weight_ = 0.0;
+}
+
 void Graph::compute_weight_stats() noexcept {
-  if (weights_.empty()) {
+  if (weights_v_.empty()) {
     min_weight_ = max_weight_ = avg_weight_ = 0.0;
     return;
   }
   Weight mn = kInfiniteWeight, mx = 0.0, sum = 0.0;
+  const Weight* w = weights_v_.data();
 #pragma omp parallel for reduction(min : mn) reduction(max : mx) \
     reduction(+ : sum) schedule(static)
-  for (std::size_t i = 0; i < weights_.size(); ++i) {
-    mn = std::min(mn, weights_[i]);
-    mx = std::max(mx, weights_[i]);
-    sum += weights_[i];
+  for (std::size_t i = 0; i < weights_v_.size(); ++i) {
+    mn = std::min(mn, w[i]);
+    mx = std::max(mx, w[i]);
+    sum += w[i];
   }
   min_weight_ = mn;
   max_weight_ = mx;
-  avg_weight_ = sum / static_cast<Weight>(weights_.size());
+  avg_weight_ = sum / static_cast<Weight>(weights_v_.size());
 }
 
 bool Graph::validate() const {
-  if (offsets_.empty() || offsets_.front() != 0) return false;
-  if (!std::is_sorted(offsets_.begin(), offsets_.end())) return false;
-  if (offsets_.back() != targets_.size()) return false;
-  if (targets_.size() != weights_.size()) return false;
+  if (offsets_v_.empty() || offsets_v_.front() != 0) return false;
+  if (!std::is_sorted(offsets_v_.begin(), offsets_v_.end())) return false;
+  if (offsets_v_.back() != targets_v_.size()) return false;
+  if (targets_v_.size() != weights_v_.size()) return false;
   const NodeId n = num_nodes();
-  for (const NodeId t : targets_) {
+  for (const NodeId t : targets_v_) {
     if (t >= n) return false;
   }
-  for (const Weight w : weights_) {
+  for (const Weight w : weights_v_) {
     if (!(w > 0.0) || w == kInfiniteWeight) return false;
   }
   return true;

@@ -4,10 +4,20 @@
 // This is the substrate every algorithm in gdiam operates on. Graphs are
 // built once (see graph/builder.hpp) and then treated as read-only, so all
 // parallel kernels can share them without synchronization.
+//
+// Storage comes in two flavors behind one type:
+//   * owned   — the CSR arrays live in std::vectors inside the Graph (the
+//     builder / generator path);
+//   * mapped  — the arrays are read-only views into a memory-mapped .gcsr
+//     file (graph/binfmt.hpp), and the Graph holds a shared keep-alive for
+//     the mapping. Copies share the mapping; nothing is deep-copied.
+// Either way the accessors hand out std::spans, so kernels cannot tell (and
+// must not care) which flavor they run on.
 
 #include <cassert>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -41,7 +51,7 @@ using EdgeList = std::vector<Edge>;
 /// and finite (enforced by GraphBuilder).
 class Graph {
  public:
-  Graph() = default;
+  Graph();
 
   /// Takes ownership of validated CSR arrays; use GraphBuilder to construct
   /// from an edge list. Pre: offsets.size() == n+1, offsets is nondecreasing,
@@ -49,54 +59,80 @@ class Graph {
   Graph(std::vector<EdgeIndex> offsets, std::vector<NodeId> targets,
         std::vector<Weight> weights);
 
+  /// Zero-copy view over externally owned CSR arrays (the mmap path,
+  /// graph/binfmt.hpp). `backing` is an opaque keep-alive: the spans must
+  /// stay valid for as long as any copy of it is held. The weight stats are
+  /// taken from the caller (the .gcsr header persists them) so opening a
+  /// mapped graph never forces a scan of the weights section.
+  Graph(std::span<const EdgeIndex> offsets, std::span<const NodeId> targets,
+        std::span<const Weight> weights, std::shared_ptr<const void> backing,
+        Weight min_weight, Weight max_weight, Weight avg_weight);
+
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
+  ~Graph() = default;
+
   [[nodiscard]] NodeId num_nodes() const noexcept {
-    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+    return offsets_v_.empty() ? 0
+                              : static_cast<NodeId>(offsets_v_.size() - 1);
   }
 
   /// Number of undirected edges.
   [[nodiscard]] EdgeIndex num_edges() const noexcept {
-    return static_cast<EdgeIndex>(targets_.size() / 2);
+    return static_cast<EdgeIndex>(targets_v_.size() / 2);
   }
 
   /// Number of stored arcs (2 per undirected edge).
   [[nodiscard]] EdgeIndex num_directed_edges() const noexcept {
-    return static_cast<EdgeIndex>(targets_.size());
+    return static_cast<EdgeIndex>(targets_v_.size());
   }
 
   [[nodiscard]] EdgeIndex degree(NodeId u) const noexcept {
     assert(u < num_nodes());
-    return offsets_[u + 1] - offsets_[u];
+    return offsets_v_[u + 1] - offsets_v_[u];
   }
 
   /// Neighbor ids of u, aligned with weights(u).
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const noexcept {
     assert(u < num_nodes());
-    return {targets_.data() + offsets_[u],
-            static_cast<std::size_t>(offsets_[u + 1] - offsets_[u])};
+    return {targets_v_.data() + offsets_v_[u],
+            static_cast<std::size_t>(offsets_v_[u + 1] - offsets_v_[u])};
   }
 
   /// Weights of u's incident edges, aligned with neighbors(u).
   [[nodiscard]] std::span<const Weight> weights(NodeId u) const noexcept {
     assert(u < num_nodes());
-    return {weights_.data() + offsets_[u],
-            static_cast<std::size_t>(offsets_[u + 1] - offsets_[u])};
+    return {weights_v_.data() + offsets_v_[u],
+            static_cast<std::size_t>(offsets_v_[u + 1] - offsets_v_[u])};
   }
 
   /// Raw CSR accessors (used by kernels that iterate arcs directly).
-  [[nodiscard]] const std::vector<EdgeIndex>& offsets() const noexcept {
-    return offsets_;
+  [[nodiscard]] std::span<const EdgeIndex> offsets() const noexcept {
+    return offsets_v_;
   }
-  [[nodiscard]] const std::vector<NodeId>& targets() const noexcept {
-    return targets_;
+  [[nodiscard]] std::span<const NodeId> targets() const noexcept {
+    return targets_v_;
   }
-  [[nodiscard]] const std::vector<Weight>& edge_weights() const noexcept {
-    return weights_;
+  [[nodiscard]] std::span<const Weight> edge_weights() const noexcept {
+    return weights_v_;
   }
 
   /// Smallest / largest / mean edge weight; 0 for edgeless graphs.
   [[nodiscard]] Weight min_weight() const noexcept { return min_weight_; }
   [[nodiscard]] Weight max_weight() const noexcept { return max_weight_; }
   [[nodiscard]] Weight avg_weight() const noexcept { return avg_weight_; }
+
+  /// True when the CSR arrays are views into external storage (an mmap'd
+  /// .gcsr file) rather than owned vectors.
+  [[nodiscard]] bool is_mapped() const noexcept { return backing_ != nullptr; }
+
+  /// The keep-alive of a mapped graph (null for owned graphs). Lets callers
+  /// check that two Graphs view the same mapping.
+  [[nodiscard]] const std::shared_ptr<const void>& backing() const noexcept {
+    return backing_;
+  }
 
   /// True when both directions of every arc are present with equal weight
   /// and there are no self-loops — the invariant GraphBuilder establishes.
@@ -107,10 +143,22 @@ class Graph {
 
  private:
   void compute_weight_stats() noexcept;
+  /// Points the view spans at the owned vectors (owned-storage flavor).
+  void rebind_views() noexcept;
+  /// Returns *this to the empty owned state (moved-from graphs land here so
+  /// they stay usable, not dangling into the destination's buffers).
+  void reset_to_empty() noexcept;
 
-  std::vector<EdgeIndex> offsets_{0};  // size n+1
-  std::vector<NodeId> targets_;     // size 2m
-  std::vector<Weight> weights_;     // size 2m
+  // Owned storage (empty for mapped graphs).
+  std::vector<EdgeIndex> offsets_own_;
+  std::vector<NodeId> targets_own_;
+  std::vector<Weight> weights_own_;
+  // Keep-alive for mapped storage (null for owned graphs).
+  std::shared_ptr<const void> backing_;
+  // The views every accessor reads; into offsets_own_/... or the mapping.
+  std::span<const EdgeIndex> offsets_v_;
+  std::span<const NodeId> targets_v_;
+  std::span<const Weight> weights_v_;
   Weight min_weight_ = 0.0;
   Weight max_weight_ = 0.0;
   Weight avg_weight_ = 0.0;

@@ -1,13 +1,16 @@
 #include "graph/io.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <unordered_map>
 
 #include "graph/builder.hpp"
@@ -47,7 +50,7 @@ void read_pod(std::istream& in, T& v) {
 }
 
 template <typename T>
-void write_vec(std::ostream& out, const std::vector<T>& v) {
+void write_vec(std::ostream& out, std::span<const T> v) {
   write_pod(out, static_cast<std::uint64_t>(v.size()));
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(T)));
@@ -156,21 +159,77 @@ Graph read_edge_list(std::istream& in, bool compact_ids,
     return it->second;
   };
 
-  std::string line;
-  line.reserve(128);
-  while (std::getline(in, line)) {
-    const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos) continue;
-    if (line[first] == '#' || line[first] == '%') continue;
-    std::istringstream ls(line);
+  // Streaming scan: fixed 1 MiB read chunks, lines parsed in place with
+  // from_chars, and a bounded carry buffer for the line straddling a chunk
+  // boundary. Peak transient memory is one chunk + one line regardless of
+  // input size (the old per-line istringstream also paid an allocation and
+  // a locale-aware numeric parse per line).
+  constexpr std::size_t kChunk = std::size_t{1} << 20;
+  constexpr std::size_t kMaxLine = std::size_t{1} << 16;
+
+  auto skip_ws = [](const char*& b, const char* e) {
+    while (b < e && (*b == ' ' || *b == '\t' || *b == '\r')) ++b;
+  };
+  auto parse_line = [&](const char* b, const char* e) {
+    while (e > b && (e[-1] == '\r' || e[-1] == ' ' || e[-1] == '\t')) --e;
+    skip_ws(b, e);
+    if (b == e || *b == '#' || *b == '%') return;
+    const std::string_view line(b, static_cast<std::size_t>(e - b));
     std::uint64_t u = 0, v = 0;
+    const auto ru = std::from_chars(b, e, u);
+    const char* q = ru.ptr;
+    skip_ws(q, e);
+    const auto rv = std::from_chars(q, e, v);
+    if (ru.ec != std::errc{} || rv.ec != std::errc{}) {
+      fail("bad edge list line: " + std::string(line));
+    }
+    q = rv.ptr;
+    skip_ws(q, e);
     double w = 1.0;
-    ls >> u >> v;
-    if (!ls) fail("bad edge list line: " + line);
-    ls >> w;  // optional third column
-    if (ls.fail()) w = 1.0;
+    if (q < e) {
+      // Optional third column; junk there falls back to weight 1, matching
+      // the historical stream-extraction semantics.
+      const auto rw = std::from_chars(q, e, w);
+      if (rw.ec != std::errc{}) w = 1.0;
+    }
     const NodeId mu = map_id(u), mv = map_id(v);
     if (mu != mv) raw.push_back(Edge{mu, mv, w});
+  };
+
+  std::vector<char> buf(kChunk);
+  std::string carry;
+  auto append_carry = [&](const char* b, std::size_t len) {
+    if (carry.size() + len > kMaxLine) {
+      fail("edge list line longer than 64 KiB");
+    }
+    carry.append(b, len);
+  };
+  for (;;) {
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    if (got == 0) break;
+    const char* p = buf.data();
+    const char* const end = p + got;
+    while (p < end) {
+      const auto* nl = static_cast<const char*>(
+          std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
+      if (nl == nullptr) {
+        append_carry(p, static_cast<std::size_t>(end - p));
+        break;
+      }
+      if (!carry.empty()) {
+        append_carry(p, static_cast<std::size_t>(nl - p));
+        parse_line(carry.data(), carry.data() + carry.size());
+        carry.clear();
+      } else {
+        parse_line(p, nl);
+      }
+      p = nl + 1;
+    }
+    if (got < buf.size()) break;  // short read = end of stream
+  }
+  if (!carry.empty()) {  // final line without a trailing newline
+    parse_line(carry.data(), carry.data() + carry.size());
   }
   const NodeId n = compact_ids ? static_cast<NodeId>(remap.size())
                                : static_cast<NodeId>(raw.empty() && max_id == 0

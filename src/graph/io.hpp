@@ -34,6 +34,9 @@ void write_dimacs_file(const Graph& g, const std::string& path);
 /// `size_hint_bytes` (stream length, when known) presizes the edge buffer
 /// and the id-remap table so the scan does not rehash/reallocate while
 /// loading; the file variant derives it from the file size automatically.
+/// The scan streams through fixed 1 MiB chunks with a bounded (64 KiB)
+/// carry buffer for boundary-straddling lines — peak transient memory is
+/// independent of the input size.
 [[nodiscard]] Graph read_edge_list(std::istream& in, bool compact_ids = true,
                                    std::size_t size_hint_bytes = 0);
 [[nodiscard]] Graph read_edge_list_file(const std::string& path,

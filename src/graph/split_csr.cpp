@@ -4,9 +4,9 @@
 
 namespace gdiam {
 
-CsrSplit presplit_csr(const std::vector<EdgeIndex>& offsets,
-                      const std::vector<NodeId>& targets,
-                      const std::vector<Weight>& weights, Weight delta) {
+CsrSplit presplit_csr(std::span<const EdgeIndex> offsets,
+                      std::span<const NodeId> targets,
+                      std::span<const Weight> weights, Weight delta) {
   const std::size_t n = offsets.empty() ? 0 : offsets.size() - 1;
   CsrSplit out;
   out.split.resize(n);

@@ -39,10 +39,12 @@ struct CsrSplit {
 
 /// Builds the light-first permutation of (targets, weights) under `delta`
 /// (light ⇔ w ≤ delta). Parallel over nodes; each node's segment is
-/// stably partitioned in place.
-[[nodiscard]] CsrSplit presplit_csr(const std::vector<EdgeIndex>& offsets,
-                                    const std::vector<NodeId>& targets,
-                                    const std::vector<Weight>& weights,
+/// stably partitioned in place. Spans, not vectors: the flat Graph hands
+/// out views (possibly into an mmap'd .gcsr file), the per-shard CSRs of
+/// mr::Partition convert implicitly from their vectors.
+[[nodiscard]] CsrSplit presplit_csr(std::span<const EdgeIndex> offsets,
+                                    std::span<const NodeId> targets,
+                                    std::span<const Weight> weights,
                                     Weight delta);
 
 /// Graph-level split view: the graph's offsets plus presplit payload copies.
@@ -56,6 +58,14 @@ class SplitCsr {
         delta_(delta),
         data_(presplit_csr(g.offsets(), g.targets(), g.edge_weights(),
                            delta)) {}
+
+  /// Adopts a prebuilt split (the persisted-presplit path, graph/binfmt.hpp:
+  /// `data` was loaded from a .gcsr sidecar instead of computed). The caller
+  /// vouches that `data` is exactly presplit_csr(g, delta) — exec::Context
+  /// bounds-checks on adoption and the binfmt round-trip tests pin the
+  /// bit-identity.
+  SplitCsr(const Graph& g, Weight delta, CsrSplit data)
+      : g_(&g), delta_(delta), data_(std::move(data)) {}
 
   [[nodiscard]] bool empty() const noexcept { return g_ == nullptr; }
   [[nodiscard]] Weight delta() const noexcept { return delta_; }

@@ -9,6 +9,7 @@
 #include "gen/rmat.hpp"
 #include "gen/road.hpp"
 #include "gen/weights.hpp"
+#include "graph/binfmt.hpp"
 #include "graph/io.hpp"
 #include "util/fault.hpp"
 #include "util/rng.hpp"
@@ -70,6 +71,10 @@ GenSpec parse_gen(const std::string& spec) {
 Graph load_file(const std::string& path) {
   if (path.ends_with(".gr")) return io::read_dimacs_file(path);
   if (path.ends_with(".bin")) return io::read_binary_file(path);
+  // Zero-copy mmap ingest; the returned Graph shares (and keeps alive) the
+  // mapping. GraphStore::get() adopts any persisted presplit sidecars into
+  // the entry's context after the graph lands in its final slot.
+  if (path.ends_with(".gcsr")) return io::open_mmap(path).graph();
   return io::read_edge_list_file(path);
 }
 
@@ -142,6 +147,12 @@ GraphStore::Entry& GraphStore::get(const std::string& spec) {
     }
     e->graph = make_graph(spec);  // a throw leaves the entry retryable
     e->loaded = true;
+    // Cold-start warming: a .gcsr graph carries its presplit layouts; adopt
+    // them into the entry's context now that the graph sits at its final
+    // address (the split cache keys on it). All-or-nothing inside.
+    if (const auto m = io::mapped_view(e->graph)) {
+      e->ctx.adopt_presplits(e->graph, *m);
+    }
     const std::lock_guard<std::mutex> lk(mu_);
     order_.push_back(e);
   }

@@ -8,7 +8,8 @@
 //                                      "gen:mesh:side=64:weights=uniform"
 //   file:<path>                      — loaded from disk (format by
 //                                      extension, like the CLI: .gr DIMACS,
-//                                      .bin gdiam binary, else edge list)
+//                                      .bin gdiam binary, .gcsr mmap binary
+//                                      CSR, else edge list)
 //   <path>                           — shorthand for file:<path>
 //
 // gen: families and parameter defaults mirror `gdiam generate` exactly

@@ -281,9 +281,12 @@ TEST(ExecContext, QuotientShardScanMatchesFlatScan) {
     const core::QuotientGraph sharded = core::build_quotient(g, c, &ctx);
     EXPECT_EQ(flat.graph.num_nodes(), sharded.graph.num_nodes());
     EXPECT_EQ(flat.graph.num_edges(), sharded.graph.num_edges());
-    EXPECT_EQ(flat.graph.offsets(), sharded.graph.offsets());
-    EXPECT_EQ(flat.graph.targets(), sharded.graph.targets());
-    EXPECT_EQ(flat.graph.edge_weights(), sharded.graph.edge_weights());
+    EXPECT_EQ(test::vec(flat.graph.offsets()),
+              test::vec(sharded.graph.offsets()));
+    EXPECT_EQ(test::vec(flat.graph.targets()),
+              test::vec(sharded.graph.targets()));
+    EXPECT_EQ(test::vec(flat.graph.edge_weights()),
+              test::vec(sharded.graph.edge_weights()));
     EXPECT_EQ(flat.cluster_of_node, sharded.cluster_of_node);
     EXPECT_EQ(flat.cluster_radius, sharded.cluster_radius);
     EXPECT_EQ(flat.center_of_cluster, sharded.center_of_cluster);

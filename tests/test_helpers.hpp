@@ -3,6 +3,7 @@
 // answers and a brute-force APSP reference.
 
 #include <cmath>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,13 @@
 #include "util/rng.hpp"
 
 namespace gdiam::test {
+
+/// Materializes a span as a vector so EXPECT_EQ can compare (and pretty-
+/// print) the CSR accessors, which hand out spans.
+template <typename T>
+std::vector<T> vec(std::span<const T> s) {
+  return {s.begin(), s.end()};
+}
 
 /// Floyd–Warshall APSP; O(n³), for n up to a few hundred.
 inline std::vector<std::vector<Weight>> brute_force_apsp(const Graph& g) {

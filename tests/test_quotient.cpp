@@ -151,9 +151,10 @@ TEST(QuotientParallel, BitIdenticalToSerialReferenceOnAllFamilies) {
         << test::family_name(family);
     EXPECT_EQ(a.cluster_radius, b.cluster_radius);  // exact, not approximate
     EXPECT_EQ(a.center_of_cluster, b.center_of_cluster);
-    EXPECT_EQ(a.graph.offsets(), b.graph.offsets());
-    EXPECT_EQ(a.graph.targets(), b.graph.targets());
-    EXPECT_EQ(a.graph.edge_weights(), b.graph.edge_weights());
+    EXPECT_EQ(test::vec(a.graph.offsets()), test::vec(b.graph.offsets()));
+    EXPECT_EQ(test::vec(a.graph.targets()), test::vec(b.graph.targets()));
+    EXPECT_EQ(test::vec(a.graph.edge_weights()),
+              test::vec(b.graph.edge_weights()));
   }
 }
 
@@ -173,9 +174,9 @@ TEST(QuotientParallel, BuildParallelMatchesBuildOnAdversarialInput) {
   }
   const Graph a = serial.build();
   const Graph b = parallel.build_parallel();
-  EXPECT_EQ(a.offsets(), b.offsets());
-  EXPECT_EQ(a.targets(), b.targets());
-  EXPECT_EQ(a.edge_weights(), b.edge_weights());
+  EXPECT_EQ(test::vec(a.offsets()), test::vec(b.offsets()));
+  EXPECT_EQ(test::vec(a.targets()), test::vec(b.targets()));
+  EXPECT_EQ(test::vec(a.edge_weights()), test::vec(b.edge_weights()));
 }
 
 // ---------------------------------------------------------------------------
